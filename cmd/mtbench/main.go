@@ -1,0 +1,44 @@
+// Command mtbench regenerates the evaluation tables of "SunOS
+// Multi-thread Architecture" (USENIX Winter '91): Figure 5 (thread
+// creation time) and Figure 6 (thread synchronization time), printing
+// measured numbers next to the paper's, with the paper's ratio
+// columns.
+//
+// Usage:
+//
+//	mtbench [-n iterations] [-fig 5|6|0]
+//
+// The absolute numbers measure the simulation substrate on the host;
+// the reproduced result is the shape — which rows involve the kernel
+// and by roughly what factor they are slower. See EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sunosmt/internal/benchkit"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "iterations per measurement")
+	fig := flag.Int("fig", 0, "which figure to run (5 or 6; 0 = both)")
+	flag.Parse()
+
+	switch *fig {
+	case 0, 5, 6:
+	default:
+		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6 or 0")
+		os.Exit(2)
+	}
+	if *fig == 0 || *fig == 5 {
+		rows := benchkit.Figure5(*n)
+		fmt.Print(benchkit.FormatTable("Figure 5: Thread creation time", rows))
+		fmt.Println()
+	}
+	if *fig == 0 || *fig == 6 {
+		rows := benchkit.Figure6(*n)
+		fmt.Print(benchkit.FormatTable("Figure 6: Thread synchronization time", rows))
+	}
+}

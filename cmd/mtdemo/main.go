@@ -1,0 +1,201 @@
+// Command mtdemo exercises the paper's architecture figures as
+// running code:
+//
+//	mtdemo -fig 1   synchronization variables in shared memory
+//	                between two processes (Figure 1)
+//	mtdemo -fig 2   an LWP's dispatch cycle — choose thread, run,
+//	                save state, choose another — shown via the
+//	                library trace (Figure 2)
+//	mtdemo -fig 3   the five process configurations: 1:1
+//	                traditional, many:1 coroutine (liblwp), M:N,
+//	                all-bound, and the mixed configuration with a
+//	                CPU-bound LWP (Figure 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"sunosmt/internal/liblwp"
+	"sunosmt/internal/sim"
+	"sunosmt/internal/vfs"
+	"sunosmt/mt"
+)
+
+func main() {
+	fig := flag.Int("fig", 3, "which figure to demonstrate (1, 2 or 3)")
+	flag.Parse()
+	switch *fig {
+	case 1:
+		figure1()
+	case 2:
+		figure2()
+	case 3:
+		figure3()
+	default:
+		log.Fatalf("mtdemo: unknown figure %d", *fig)
+	}
+}
+
+// figure1: two processes, a mutex in a shared mapping, interleaved
+// critical sections.
+func figure1() {
+	fmt.Println("Figure 1: synchronization variables in memory shared between processes")
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	run := func(name string) *mt.Proc {
+		ch := make(chan *mt.Proc, 1)
+		p, err := sys.Spawn(name, func(t *mt.Thread, _ any) {
+			p := <-ch
+			fd, _ := p.Open(t, "/tmp/shared.dat", mt.OCreate|mt.ORdWr)
+			va, _ := p.Mmap(t, 0, mt.PageSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
+			mu, err := p.SharedMutexAt(t, va)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				mu.Enter(t)
+				fmt.Printf("  %s holds the shared lock (iteration %d)\n", name, i)
+				p.Sleep(t, time.Millisecond)
+				mu.Exit(t)
+				t.Yield()
+			}
+		}, nil, mt.ProcConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch <- p
+		return p
+	}
+	a, b := run("process-1"), run("process-2")
+	a.WaitExit()
+	b.WaitExit()
+	fmt.Println("  both processes synchronized through the mapped file")
+}
+
+// figure2: trace the dispatch cycle of an LWP multiplexing threads.
+func figure2() {
+	fmt.Println("Figure 2: LWPs running threads (library trace of the dispatch cycle)")
+	sys := mt.NewSystem(mt.Options{NCPU: 1, TraceCapacity: 256})
+	p, err := sys.Spawn("fig2", func(t *mt.Thread, _ any) {
+		r := t.Runtime()
+		var ids []mt.ThreadID
+		for i := 0; i < 3; i++ {
+			c, _ := r.Create(func(c *mt.Thread, _ any) {
+				c.Yield() // (c) save state; (d) LWP chooses another
+				c.Yield()
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			t.Wait(id)
+		}
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.WaitExit()
+	for _, e := range sys.Trace().Kinds("disp", "park") {
+		fmt.Printf("  %s\n", strings.TrimSpace(e.Msg))
+	}
+}
+
+// figure3: all five process configurations.
+func figure3() {
+	fmt.Println("Figure 3: multi-thread architecture examples")
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+
+	// proc 1: traditional single-threaded process (1 thread : 1 LWP).
+	p1, _ := sys.Spawn("proc1", func(t *mt.Thread, _ any) {}, nil, mt.ProcConfig{})
+	p1.WaitExit()
+	fmt.Println("  proc 1: one thread on one LWP (traditional UNIX process) - done")
+
+	// proc 2: threads multiplexed on a single LWP by the 4.0
+	// coroutine package.
+	kern := sys.Kern
+	kp := kern.NewProcess("proc2", nil)
+	pf := vfs.NewProcFiles(sys.FS, kp)
+	pkg, err := liblwp.New(kern, kp, pf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	if err := pkg.Run(func(g *liblwp.GThread) {
+		for i := 0; i < 3; i++ {
+			g.Pkg().Create(func(w *liblwp.GThread) {
+				count++
+				w.Yield()
+			})
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  proc 2: %d coroutine threads on one LWP (SunOS 4.0 liblwp) - done\n", count)
+
+	// proc 3: M:N — several threads multiplexed on fewer LWPs.
+	p3, _ := sys.Spawn("proc3", func(t *mt.Thread, _ any) {
+		r := t.Runtime()
+		r.SetConcurrency(2)
+		var ids []mt.ThreadID
+		for i := 0; i < 6; i++ {
+			c, _ := r.Create(func(c *mt.Thread, _ any) { c.Yield() }, nil,
+				mt.CreateOpts{Flags: mt.ThreadWait})
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			t.Wait(id)
+		}
+		fmt.Printf("  proc 3: 6 threads multiplexed on %d LWPs - done\n", r.PoolSize())
+	}, nil, mt.ProcConfig{})
+	p3.WaitExit()
+
+	// proc 4: threads permanently bound to LWPs.
+	p4, _ := sys.Spawn("proc4", func(t *mt.Thread, _ any) {
+		r := t.Runtime()
+		var ids []mt.ThreadID
+		for i := 0; i < 2; i++ {
+			c, _ := r.Create(func(c *mt.Thread, _ any) {}, nil,
+				mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			t.Wait(id)
+		}
+		fmt.Println("  proc 4: every thread bound to its own LWP - done")
+	}, nil, mt.ProcConfig{})
+	p4.WaitExit()
+
+	// proc 5: the mixed configuration, including an LWP bound to a
+	// CPU.
+	ch := make(chan *mt.Proc, 1)
+	p5, _ := sys.Spawn("proc5", func(t *mt.Thread, _ any) {
+		p := <-ch
+		r := t.Runtime()
+		r.SetConcurrency(2)
+		var ids []mt.ThreadID
+		for i := 0; i < 4; i++ {
+			c, _ := r.Create(func(c *mt.Thread, _ any) { c.Yield() }, nil,
+				mt.CreateOpts{Flags: mt.ThreadWait})
+			ids = append(ids, c.ID())
+		}
+		b, _ := r.Create(func(c *mt.Thread, _ any) {
+			// Bound thread whose LWP is bound to CPU 1 and runs
+			// real-time.
+			if err := p.BindCPU(c, 1); err != nil {
+				log.Fatal(err)
+			}
+			if err := p.Priocntl(c, sim.ClassRT, 10); err != nil {
+				log.Fatal(err)
+			}
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+		ids = append(ids, b.ID())
+		for _, id := range ids {
+			t.Wait(id)
+		}
+		fmt.Println("  proc 5: unbound group + bound thread with CPU-bound RT LWP - done")
+	}, nil, mt.ProcConfig{})
+	ch <- p5
+	p5.WaitExit()
+}

@@ -1,0 +1,13 @@
+// Package sunosmt is a production-quality Go reproduction of "SunOS
+// Multi-thread Architecture" (Powell, Kleiman, Barton, Shah, Stein,
+// Weeks — USENIX Winter 1991): extremely lightweight user-level
+// threads multiplexed on kernel-supported LWPs, with the paper's
+// synchronization facilities, signal model, and reinterpreted UNIX
+// semantics, all built on a simulated SunOS 5-style kernel.
+//
+// The public API lives in package sunosmt/mt; see README.md for a
+// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for
+// the paper-versus-measured evaluation. The root package exists to
+// host the repository-level benchmarks (bench_test.go), which
+// regenerate the paper's Figure 5 and Figure 6.
+package sunosmt

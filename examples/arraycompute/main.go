@@ -1,0 +1,124 @@
+// Array compute: the paper's parallel-array argument from "Why have
+// both threads and LWPs?". A matrix computation is divided among
+// exactly one bound thread per processor — "write thread code that is
+// really LWP code, much like locking down pages turns virtual memory
+// into real memory" — and the bound LWPs join a gang so the kernel
+// co-schedules them. The same work is then run with many unbound
+// threads on few LWPs to show the extra switching the paper warns
+// about.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sunosmt/mt"
+)
+
+const (
+	rows  = 256
+	cols  = 256
+	iters = 8
+)
+
+// relax performs a stencil pass over a band of rows, yielding every
+// yieldEvery rows (0 = never: the 1:1 configuration has no sibling
+// threads to switch to, the point of the paper's argument).
+func relax(grid [][]float64, lo, hi, yieldEvery int, yield func()) {
+	for it := 0; it < iters; it++ {
+		for r := lo; r < hi; r++ {
+			row := grid[r]
+			for c := 1; c < cols-1; c++ {
+				row[c] = 0.5*row[c] + 0.25*(row[c-1]+row[c+1])
+			}
+			if yieldEvery > 0 && r%yieldEvery == 0 {
+				yield()
+			}
+		}
+	}
+}
+
+func newGrid() [][]float64 {
+	g := make([][]float64, rows)
+	for i := range g {
+		g[i] = make([]float64, cols)
+		for j := range g[i] {
+			g[i][j] = float64((i*cols + j) % 97)
+		}
+	}
+	return g
+}
+
+// run partitions the grid among n threads created with flags and
+// reports the wall time.
+func run(sys *mt.System, label string, nthreads int, bound bool, lwps int) time.Duration {
+	grid := newGrid()
+	var elapsed time.Duration
+	done := make(chan struct{})
+	ch := make(chan *mt.Proc, 1)
+	p, err := sys.Spawn(label, func(t *mt.Thread, _ any) {
+		defer close(done)
+		p := <-ch
+		r := t.Runtime()
+		if !bound {
+			r.SetConcurrency(lwps)
+		}
+		start := time.Now()
+		var ids []mt.ThreadID
+		band := rows / nthreads
+		for i := 0; i < nthreads; i++ {
+			lo, hi := i*band, (i+1)*band
+			if i == nthreads-1 {
+				hi = rows
+			}
+			flags := mt.ThreadWait
+			if bound {
+				flags |= mt.ThreadBindLWP
+			}
+			w, err := r.Create(func(c *mt.Thread, _ any) {
+				if bound {
+					// One bound thread per processor, gang
+					// scheduled for fine-grain parallelism.
+					if err := p.JoinGang(c, 1, 30); err != nil {
+						log.Fatal(err)
+					}
+				}
+				yieldEvery := 1 // M:N: switch between sibling threads
+				if bound {
+					yieldEvery = 0 // 1:1: no thread switches needed
+				}
+				relax(grid, lo, hi, yieldEvery, func() { c.Yield() })
+			}, nil, mt.CreateOpts{Flags: flags})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids = append(ids, w.ID())
+		}
+		for _, id := range ids {
+			t.Wait(id)
+		}
+		elapsed = time.Since(start)
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch <- p
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+func main() {
+	const ncpu = 4
+	sys := mt.NewSystem(mt.Options{NCPU: ncpu})
+
+	bound := run(sys, "bound-gang", ncpu, true, ncpu)
+	fmt.Printf("%-34s %v\n", "4 bound gang threads on 4 CPUs:", bound)
+
+	oversub := run(sys, "oversubscribed", 64, false, ncpu)
+	fmt.Printf("%-34s %v\n", "64 unbound threads on 4 LWPs:", oversub)
+
+	fmt.Printf("thread-switch overhead factor: %.2fx (the paper's argument for one thread per LWP)\n",
+		float64(oversub)/float64(bound))
+}

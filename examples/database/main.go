@@ -1,0 +1,138 @@
+// Database: the paper's Figure 1 scenario, end to end. A file holds
+// database records, each with a mutual exclusion lock variable in the
+// record itself. Several processes map the file MAP_SHARED (at
+// whatever virtual address they get), and threads lock individual
+// records to update them; the locks synchronize across processes, and
+// their state outlives any single process.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunosmt/mt"
+)
+
+const (
+	nRecords   = 16
+	recordSize = 256 // lock variable at +0, balance at +128
+	dbPath     = "/tmp/bank.db"
+	perProcess = 2000
+)
+
+// transfer moves one unit from record a to record b under both record
+// locks (ordered by record number to avoid deadlock).
+func transfer(p *mt.Proc, t *mt.Thread, base int64, a, b int) error {
+	if a > b {
+		a, b = b, a
+	}
+	la, err := p.SharedMutexAt(t, base+int64(a*recordSize))
+	if err != nil {
+		return err
+	}
+	lb, err := p.SharedMutexAt(t, base+int64(b*recordSize))
+	if err != nil {
+		return err
+	}
+	la.Enter(t)
+	lb.Enter(t)
+	defer la.Exit(t)
+	defer lb.Exit(t)
+	adj := func(rec, delta int) error {
+		off := base + int64(rec*recordSize) + 128
+		var buf [8]byte
+		if err := p.MemRead(t, off, buf[:]); err != nil {
+			return err
+		}
+		v := int64(0)
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | int64(buf[i])
+		}
+		v += int64(delta)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		return p.MemWrite(t, off, buf[:])
+	}
+	if err := adj(a, -1); err != nil {
+		return err
+	}
+	return adj(b, +1)
+}
+
+func worker(p *mt.Proc, base int64) mt.Func {
+	return func(t *mt.Thread, arg any) {
+		seed := arg.(int)
+		for i := 0; i < perProcess; i++ {
+			a := (seed + i) % nRecords
+			b := (seed + 3*i + 1) % nRecords
+			if a == b {
+				b = (b + 1) % nRecords
+			}
+			if err := transfer(p, t, base, a, b); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func main() {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+
+	spawn := func(name string, seed int) *mt.Proc {
+		ch := make(chan *mt.Proc, 1)
+		p, err := sys.Spawn(name, func(t *mt.Thread, _ any) {
+			p := <-ch
+			fd, err := p.Open(t, dbPath, mt.OCreate|mt.ORdWr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			base, err := p.Mmap(t, 0, nRecords*recordSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Two worker threads per process hammer the records.
+			w1, _ := t.Runtime().Create(worker(p, base), seed, mt.CreateOpts{Flags: mt.ThreadWait})
+			w2, _ := t.Runtime().Create(worker(p, base), seed+7, mt.CreateOpts{Flags: mt.ThreadWait})
+			t.Wait(w1.ID())
+			t.Wait(w2.ID())
+		}, nil, mt.ProcConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch <- p
+		return p
+	}
+
+	p1 := spawn("dbproc1", 1)
+	p2 := spawn("dbproc2", 5)
+	p1.WaitExit()
+	p2.WaitExit()
+
+	// A third process audits: transfers conserve the total.
+	done := make(chan struct{})
+	ch := make(chan *mt.Proc, 1)
+	p3, err := sys.Spawn("auditor", func(t *mt.Thread, _ any) {
+		defer close(done)
+		p := <-ch
+		fd, _ := p.Open(t, dbPath, mt.ORdWr)
+		base, _ := p.Mmap(t, 0, nRecords*recordSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
+		total := int64(0)
+		for r := 0; r < nRecords; r++ {
+			var buf [8]byte
+			p.MemRead(t, base+int64(r*recordSize)+128, buf[:])
+			v := int64(0)
+			for i := 7; i >= 0; i-- {
+				v = v<<8 | int64(buf[i])
+			}
+			total += v
+		}
+		fmt.Printf("audit: %d records, net balance %d (want 0) after %d cross-process transfers\n",
+			nRecords, total, 2*2*perProcess)
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch <- p3
+	<-done
+}

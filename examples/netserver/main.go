@@ -1,0 +1,169 @@
+// Network server: the paper's server example — a service that
+// "indirectly needs its own service (and therefore another thread of
+// control) to handle requests". A listener thread polls a set of
+// client pipes; each arriving request gets its own worker thread
+// (cheap, unbound); workers consult a directory service in a child
+// process over another pipe, demonstrating threads blocking in the
+// kernel on I/O while the rest of the server keeps running.
+//
+// The client and directory-service processes are fork1() children of
+// the server, so they inherit the pipe descriptors exactly as UNIX
+// processes would.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunosmt/mt"
+)
+
+const (
+	nClients     = 8
+	reqPerClient = 25
+	total        = nClients * reqPerClient
+)
+
+func main() {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	done := make(chan struct{})
+	ch := make(chan *mt.Proc, 1)
+	server, err := sys.Spawn("netserver", func(t *mt.Thread, _ any) {
+		defer close(done)
+		p := <-ch
+		r := t.Runtime()
+
+		// One pipe per client plus a request/reply pair for the
+		// directory service. Children inherit these descriptors.
+		type pipePair struct{ r, w int }
+		var cps [nClients]pipePair
+		for i := range cps {
+			rfd, wfd, err := p.Pipe(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cps[i] = pipePair{rfd, wfd}
+		}
+		dreqR, dreqW, _ := p.Pipe(t)
+		drepR, drepW, _ := p.Pipe(t)
+
+		// fork1: the directory service.
+		dirCh := make(chan *mt.Proc, 1)
+		dir, err := p.Fork1(t, func(dt *mt.Thread, _ any) {
+			dp := <-dirCh
+			buf := make([]byte, 1)
+			for i := 0; i < total; i++ {
+				if _, err := dp.Read(dt, dreqR, buf); err != nil {
+					return
+				}
+				buf[0] ^= 0x80 // the "lookup"
+				if _, err := dp.Write(dt, drepW, buf); err != nil {
+					return
+				}
+			}
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dirCh <- dir
+
+		// fork1: the clients, one thread per connection.
+		cliCh := make(chan *mt.Proc, 1)
+		cli, err := p.Fork1(t, func(ct *mt.Thread, _ any) {
+			cp := <-cliCh
+			var ids []mt.ThreadID
+			for i := 0; i < nClients; i++ {
+				i := i
+				c, err := ct.Runtime().Create(func(c *mt.Thread, _ any) {
+					for j := 0; j < reqPerClient; j++ {
+						if _, err := cp.Write(c, cps[i].w, []byte{byte(i)}); err != nil {
+							return
+						}
+						c.Yield()
+					}
+				}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+				if err != nil {
+					log.Fatal(err)
+				}
+				ids = append(ids, c.ID())
+			}
+			for _, id := range ids {
+				ct.Wait(id)
+			}
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cliCh <- cli
+
+		// The listener loop: poll, accept, thread-per-request.
+		var mu mt.Mutex
+		served := 0
+		accepted := 0
+		var workers []mt.ThreadID
+		for accepted < total {
+			fds := make([]mt.PollFD, nClients)
+			for i, cp := range cps {
+				fds[i] = mt.PollFD{FD: cp.r, Events: mt.PollIn}
+			}
+			if _, err := p.Poll(t, fds, 0); err != nil {
+				log.Fatal(err)
+			}
+			for i := range fds {
+				if fds[i].Revents&mt.PollIn == 0 {
+					continue
+				}
+				buf := make([]byte, 1)
+				if _, err := p.Read(t, cps[i].r, buf); err != nil {
+					log.Fatal(err)
+				}
+				w, err := r.Create(func(c *mt.Thread, _ any) {
+					// Blocking round trip to the directory
+					// service: this thread's LWP parks in the
+					// kernel; SIGWAITING grows the pool if
+					// everyone is waiting.
+					if _, err := p.Write(c, dreqW, buf); err != nil {
+						log.Fatal(err)
+					}
+					rep := make([]byte, 1)
+					if _, err := p.Read(c, drepR, rep); err != nil {
+						log.Fatal(err)
+					}
+					mu.Enter(c)
+					served++
+					mu.Exit(c)
+				}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+				if err != nil {
+					log.Fatal(err)
+				}
+				workers = append(workers, w.ID())
+				accepted++
+			}
+			// Reap completed workers (Find only returns live
+			// threads; the rest are zombies ready to wait for).
+			var pending []mt.ThreadID
+			for _, id := range workers {
+				if _, ok := r.Find(id); ok {
+					pending = append(pending, id)
+					continue
+				}
+				t.Wait(id)
+			}
+			workers = pending
+		}
+		for _, id := range workers {
+			t.Wait(id)
+		}
+		// Wait for the children.
+		p.WaitChild(t, -1)
+		p.WaitChild(t, -1)
+		fmt.Printf("server: handled %d requests; LWP pool grew to %d\n", served, r.PoolSize())
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch <- server
+	<-done
+	server.WaitExit()
+	fmt.Println("netserver demo complete")
+}

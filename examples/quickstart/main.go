@@ -1,0 +1,69 @@
+// Quickstart: boot a simulated machine, start a process, create a few
+// unbound threads, synchronize them with a mutex and a condition
+// variable, and wait for them — the paper's Figure 4 interface in
+// action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunosmt/mt"
+)
+
+func main() {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+
+	done := make(chan struct{})
+	_, err := sys.Spawn("quickstart", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+
+		// A shared counter protected by a mutex, and a condition
+		// variable announcing completion — the canonical monitor.
+		var mu mt.Mutex
+		var cv mt.Cond
+		counter := 0
+		finished := 0
+
+		const workers = 8
+		var ids []mt.ThreadID
+		for i := 0; i < workers; i++ {
+			w, err := r.Create(func(c *mt.Thread, arg any) {
+				for j := 0; j < 1000; j++ {
+					mu.Enter(c)
+					counter++
+					mu.Exit(c)
+				}
+				mu.Enter(c)
+				finished++
+				mu.Exit(c)
+				cv.Signal(c)
+			}, i, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids = append(ids, w.ID())
+		}
+
+		// The paper's condition-wait idiom: hold the mutex, loop
+		// on the condition.
+		mu.Enter(t)
+		for finished < workers {
+			cv.Wait(t, &mu)
+		}
+		mu.Exit(t)
+
+		for _, id := range ids {
+			if _, err := t.Wait(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("counter = %d (want %d) across %d threads on %d LWPs\n",
+			counter, workers*1000, workers, r.PoolSize())
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+}

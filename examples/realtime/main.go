@@ -1,0 +1,97 @@
+// Realtime: the paper's mixed configuration — "some real-time
+// applications ... want some threads to have system-wide priority and
+// real-time scheduling, while other threads can attend to background
+// computations." A control-loop thread is bound to its own LWP and
+// placed in the real-time scheduling class (the SunOS answer to
+// Chorus's objection to two-level scheduling); a crowd of unbound
+// background threads shares one timeshare LWP. On a single CPU, the
+// RT thread preempts the background work at every dispatch decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sunosmt/internal/sim"
+	"sunosmt/mt"
+)
+
+func main() {
+	sys := mt.NewSystem(mt.Options{NCPU: 1, TimeSlice: 2 * time.Millisecond})
+	done := make(chan struct{})
+	ch := make(chan *mt.Proc, 1)
+	proc, err := sys.Spawn("realtime", func(t *mt.Thread, _ any) {
+		defer close(done)
+		p := <-ch
+		r := t.Runtime()
+
+		// Background crowd: unbound, timeshare.
+		var bg []mt.ThreadID
+		stop := false
+		var mu mt.Mutex
+		for i := 0; i < 8; i++ {
+			w, err := r.Create(func(c *mt.Thread, _ any) {
+				for {
+					mu.Enter(c)
+					s := stop
+					mu.Exit(c)
+					if s {
+						return
+					}
+					// background churn
+					for j := 0; j < 1000; j++ {
+						_ = j * j
+					}
+					c.Yield()
+				}
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bg = append(bg, w.ID())
+		}
+
+		// The control loop: bound, real-time class.
+		var worst time.Duration
+		rt, err := r.Create(func(c *mt.Thread, _ any) {
+			if err := p.Priocntl(c, sim.ClassRT, 20); err != nil {
+				log.Fatal(err)
+			}
+			const ticks = 200
+			period := 500 * time.Microsecond
+			for i := 0; i < ticks; i++ {
+				start := time.Now()
+				if err := p.Sleep(c, period); err != nil {
+					log.Fatal(err)
+				}
+				// Latency = how late we woke past the period.
+				lat := time.Since(start) - period
+				if lat > worst {
+					worst = lat
+				}
+			}
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t.Wait(rt.ID())
+		mu.Enter(t)
+		stop = true
+		mu.Exit(t)
+		for _, id := range bg {
+			t.Wait(id)
+		}
+		fmt.Printf("real-time control loop: 200 ticks at 500us period over background load\n")
+		fmt.Printf("worst wakeup latency past the period: %v\n", worst)
+		if worst > 50*time.Millisecond {
+			fmt.Println("WARNING: latency looks non-real-time")
+		}
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch <- proc
+	<-done
+}

@@ -1,0 +1,130 @@
+// Window system: the paper's motivating example for extremely
+// lightweight threads. Every widget gets one input handler and one
+// output handler thread — thousands of threads — multiplexed on a
+// handful of LWPs, because "although the window system may be best
+// expressed as a large number of threads, only a few of the threads
+// ever need to be active at the same instant."
+//
+// The demo builds 1000 widgets (2000 threads), injects a stream of
+// input events, and reports how many LWPs the library actually used.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunosmt/mt"
+)
+
+// widget is one UI element with an event queue (a tiny monitor).
+type widget struct {
+	id      int
+	mu      mt.Mutex
+	cv      mt.Cond
+	queue   []int
+	handled int
+	redraws int
+	closed  bool
+}
+
+// input waits for events and "handles" them, handing each to the
+// output side by recording a redraw request.
+func (w *widget) input(t *mt.Thread, _ any) {
+	for {
+		w.mu.Enter(t)
+		for len(w.queue) == 0 && !w.closed {
+			w.cv.Wait(t, &w.mu)
+		}
+		if w.closed && len(w.queue) == 0 {
+			w.mu.Exit(t)
+			return
+		}
+		w.queue = w.queue[1:]
+		w.handled++
+		w.mu.Exit(t)
+	}
+}
+
+// output repaints while the widget lives.
+func (w *widget) output(t *mt.Thread, _ any) {
+	for {
+		w.mu.Enter(t)
+		if w.closed {
+			w.mu.Exit(t)
+			return
+		}
+		w.redraws++
+		w.mu.Exit(t)
+		t.Yield() // wait for the next frame
+	}
+}
+
+func (w *widget) post(t *mt.Thread, ev int) {
+	w.mu.Enter(t)
+	w.queue = append(w.queue, ev)
+	w.mu.Exit(t)
+	w.cv.Signal(t)
+}
+
+func (w *widget) close(t *mt.Thread) {
+	w.mu.Enter(t)
+	w.closed = true
+	w.mu.Exit(t)
+	w.cv.Broadcast(t)
+}
+
+func main() {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	done := make(chan struct{})
+	_, err := sys.Spawn("windowsystem", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+
+		const nWidgets = 1000
+		widgets := make([]*widget, nWidgets)
+		var handlers []mt.ThreadID
+		for i := range widgets {
+			w := &widget{id: i}
+			widgets[i] = w
+			in, err := r.Create(w.input, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := r.Create(w.output, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				log.Fatal(err)
+			}
+			handlers = append(handlers, in.ID(), out.ID())
+		}
+		fmt.Printf("created %d widget handler threads on %d LWP(s)\n",
+			r.NumThreads()-1, r.PoolSize())
+
+		// Inject a burst of events round-robin.
+		const events = 5000
+		for e := 0; e < events; e++ {
+			widgets[e%nWidgets].post(t, e)
+			if e%100 == 0 {
+				t.Yield()
+			}
+		}
+		// Drain and close.
+		for _, w := range widgets {
+			w.close(t)
+		}
+		for _, id := range handlers {
+			if _, err := t.Wait(id); err != nil {
+				log.Fatal(err)
+			}
+		}
+		total := 0
+		for _, w := range widgets {
+			total += w.handled
+		}
+		fmt.Printf("handled %d/%d events; final LWP pool: %d\n",
+			total, events, r.PoolSize())
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+}

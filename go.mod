@@ -1,0 +1,3 @@
+module sunosmt
+
+go 1.22

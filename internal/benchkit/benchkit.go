@@ -1,0 +1,305 @@
+// Package benchkit implements the measurement procedures of the
+// paper's Performance section, shared by the root bench_test.go and
+// cmd/mtbench (which prints the paper's Figure 5 and Figure 6 tables
+// with the same rows and ratio columns).
+//
+// The paper measured a 25 MHz SPARCstation 1+ with a microsecond
+// timer; we measure the simulation substrate on the host clock.
+// Absolute numbers are not comparable — EXPERIMENTS.md records both —
+// but the *shape* (which operations involve the kernel and are an
+// order of magnitude heavier) is the reproduced result.
+package benchkit
+
+import (
+	"fmt"
+	"time"
+
+	"sunosmt/mt"
+)
+
+// noop is the empty thread body used by creation benchmarks.
+func noop(*mt.Thread, any) {}
+
+// UnboundCreate measures creating n unbound threads with a cached
+// default stack (the Figure 5 "Unbound thread create" row: creation
+// time only, no first context switch, no kernel involvement).
+func UnboundCreate(n int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	stack := make([]byte, 4096) // cached/supplied stack, as in the paper's setup
+	var p *mt.Proc
+	var err error
+	p, err = sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		const batch = 8192
+		for remaining := n; remaining > 0; {
+			k := min(batch, remaining)
+			start := time.Now()
+			for i := 0; i < k; i++ {
+				if _, err := r.Create(noop, nil, mt.CreateOpts{Stack: stack}); err != nil {
+					panic(err)
+				}
+			}
+			elapsed += time.Since(start)
+			remaining -= k
+			// Drain outside the timed region so queued threads
+			// do not accumulate without bound.
+			for r.RunnableThreads() > 0 {
+				t.Yield()
+			}
+		}
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+// BoundCreate measures creating n bound threads (the Figure 5 "Bound
+// thread create" row): each creation calls into the kernel to create
+// an LWP to run the thread.
+func BoundCreate(n int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	stack := make([]byte, 4096)
+	var p *mt.Proc
+	var err error
+	p, err = sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		const batch = 256
+		for remaining := n; remaining > 0; {
+			k := min(batch, remaining)
+			created := make([]*mt.Thread, 0, k)
+			start := time.Now()
+			for i := 0; i < k; i++ {
+				c, err := r.Create(noop, nil, mt.CreateOpts{
+					Stack: stack,
+					Flags: mt.ThreadWait | mt.ThreadBindLWP,
+				})
+				if err != nil {
+					panic(err)
+				}
+				created = append(created, c)
+			}
+			elapsed += time.Since(start)
+			remaining -= k
+			for _, c := range created {
+				t.Wait(c.ID())
+			}
+		}
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+// SetjmpLongjmp measures the paper's baseline for thread switching: a
+// routine that does a setjmp() and longjmp() to itself.
+func SetjmpLongjmp(n int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			t.Setjmp(func(jb *mt.Jmpbuf) {
+				t.Longjmp(jb, 1)
+			})
+		}
+		elapsed = time.Since(start)
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+// SyncPingPong measures the paper's Figure 6 synchronization
+// procedure: two threads synchronize via two semaphores
+// (sema_v(&s1); sema_p(&s2) against sema_p(&s2); sema_v(&s1)), so n
+// rounds contain 2n synchronizations. bound selects bound threads
+// (each on its own LWP, blocking through the kernel) versus unbound
+// threads multiplexed on one LWP (pure user-level switching).
+func SyncPingPong(n int, bound bool) time.Duration {
+	// Uniprocessor, like the paper's measurement machine: bound-thread
+	// synchronization must context-switch through the kernel.
+	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	var s1, s2 mt.Sema
+	flags := mt.ThreadWait
+	if bound {
+		flags |= mt.ThreadBindLWP
+	}
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		t2, err := r.Create(func(c *mt.Thread, _ any) {
+			for i := 0; i < n; i++ {
+				s2.P(c)
+				s1.V(c)
+			}
+		}, nil, mt.CreateOpts{Flags: flags})
+		if err != nil {
+			panic(err)
+		}
+		t1, err := r.Create(func(c *mt.Thread, _ any) {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				s2.V(c)
+				s1.P(c)
+			}
+			elapsed = time.Since(start)
+		}, nil, mt.CreateOpts{Flags: flags})
+		if err != nil {
+			panic(err)
+		}
+		t.Wait(t1.ID())
+		t.Wait(t2.ID())
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+// CrossProcessSync measures Figure 6's last row: threads in two
+// different processes synchronizing through semaphores placed in a
+// file mapped MAP_SHARED by both.
+func CrossProcessSync(n int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	var elapsed time.Duration
+	setup := func(p *mt.Proc, t *mt.Thread) (s1, s2 *mt.Sema) {
+		fd, err := p.Open(t, "/tmp/syncfile", mt.OCreate|mt.ORdWr)
+		if err != nil {
+			panic(err)
+		}
+		va, err := p.Mmap(t, 0, mt.PageSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
+		if err != nil {
+			panic(err)
+		}
+		s1, err = p.SharedSemaAt(t, va, 0)
+		if err != nil {
+			panic(err)
+		}
+		s2, err = p.SharedSemaAt(t, va+64, 0)
+		if err != nil {
+			panic(err)
+		}
+		return s1, s2
+	}
+	spawn := func(name string, body func(p *mt.Proc, t *mt.Thread)) *mt.Proc {
+		ch := make(chan *mt.Proc, 1)
+		p, err := sys.Spawn(name, func(t *mt.Thread, _ any) {
+			body(<-ch, t)
+		}, nil, mt.ProcConfig{})
+		if err != nil {
+			panic(err)
+		}
+		ch <- p
+		return p
+	}
+	done := make(chan struct{})
+	p2 := spawn("peer", func(p *mt.Proc, t *mt.Thread) {
+		s1, s2 := setup(p, t)
+		for i := 0; i < n; i++ {
+			s2.P(t)
+			s1.V(t)
+		}
+	})
+	p1 := spawn("timer", func(p *mt.Proc, t *mt.Thread) {
+		defer close(done)
+		s1, s2 := setup(p, t)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			s2.V(t)
+			s1.P(t)
+		}
+		elapsed = time.Since(start)
+	})
+	<-done
+	p1.WaitExit()
+	p2.WaitExit()
+	return elapsed
+}
+
+// Row is one line of a paper-style results table.
+type Row struct {
+	Name     string
+	PaperUS  float64 // the paper's measurement, microseconds
+	Measured time.Duration
+	Ops      int // operations the Measured total covers
+}
+
+// PerOp returns the measured time per operation.
+func (r Row) PerOp() time.Duration {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.Measured / time.Duration(r.Ops)
+}
+
+// Figure5 runs the thread-creation experiment and returns the table's
+// rows with the paper's reference numbers attached.
+func Figure5(n int) []Row {
+	if n <= 0 {
+		n = 20000
+	}
+	nb := n / 20
+	if nb == 0 {
+		nb = 1
+	}
+	return []Row{
+		{Name: "Unbound thread create", PaperUS: 56, Measured: UnboundCreate(n), Ops: n},
+		{Name: "Bound thread create", PaperUS: 2327, Measured: BoundCreate(nb), Ops: nb},
+	}
+}
+
+// Figure6 runs the synchronization experiment. Each ping-pong round
+// is two synchronizations, so Ops is 2n for those rows, matching the
+// paper's division by two.
+func Figure6(n int) []Row {
+	if n <= 0 {
+		n = 20000
+	}
+	return []Row{
+		{Name: "Setjmp/longjmp", PaperUS: 59, Measured: SetjmpLongjmp(n), Ops: n},
+		{Name: "Unbound thread sync", PaperUS: 158, Measured: SyncPingPong(n, false), Ops: 2 * n},
+		{Name: "Bound thread sync", PaperUS: 348, Measured: SyncPingPong(n, true), Ops: 2 * n},
+		{Name: "Cross process thread sync", PaperUS: 301, Measured: CrossProcessSync(n), Ops: 2 * n},
+	}
+}
+
+// FormatTable renders rows in the paper's format: a time column and a
+// ratio column giving each row's ratio to the previous row, plus the
+// paper's numbers alongside.
+func FormatTable(title string, rows []Row) string {
+	out := fmt.Sprintf("%s\n%-28s %12s %8s %12s %8s\n", title,
+		"", "measured", "ratio", "paper (us)", "ratio")
+	var prev, prevPaper float64
+	for i, r := range rows {
+		us := float64(r.PerOp().Nanoseconds()) / 1e3
+		ratio, paperRatio := "", ""
+		if i > 0 {
+			ratio = fmt.Sprintf("%.2f", us/prev)
+			paperRatio = fmt.Sprintf("%.2f", r.PaperUS/prevPaper)
+		}
+		out += fmt.Sprintf("%-28s %10.2fus %8s %12.0f %8s\n", r.Name, us, ratio, r.PaperUS, paperRatio)
+		prev, prevPaper = us, r.PaperUS
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small-n smoke tests: the measurement procedures complete, return
+// positive durations, and keep the paper's coarse ordering.
+
+func TestFigure5Smoke(t *testing.T) {
+	rows := Figure5(200)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 || r.Ops <= 0 {
+			t.Fatalf("row %q not measured: %+v", r.Name, r)
+		}
+	}
+	if rows[1].PerOp() <= rows[0].PerOp() {
+		t.Fatalf("bound create (%v) not slower than unbound (%v)",
+			rows[1].PerOp(), rows[0].PerOp())
+	}
+}
+
+func TestFigure6Smoke(t *testing.T) {
+	rows := Figure6(200)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 {
+			t.Fatalf("row %q not measured", r.Name)
+		}
+	}
+	// The paper's coarse ordering: baseline < unbound < bound.
+	if rows[1].PerOp() <= rows[0].PerOp() {
+		t.Fatalf("unbound sync (%v) not slower than setjmp baseline (%v)",
+			rows[1].PerOp(), rows[0].PerOp())
+	}
+	if rows[2].PerOp() <= rows[1].PerOp() {
+		t.Fatalf("bound sync (%v) not slower than unbound (%v)",
+			rows[2].PerOp(), rows[1].PerOp())
+	}
+}
+
+func TestFormatTableShape(t *testing.T) {
+	rows := []Row{
+		{Name: "first", PaperUS: 10, Measured: 1000, Ops: 1},
+		{Name: "second", PaperUS: 40, Measured: 4000, Ops: 1},
+	}
+	out := FormatTable("Title", rows)
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "first") {
+		t.Fatalf("table missing pieces:\n%s", out)
+	}
+	// Ratio column of the second row: 4.00 both measured and paper.
+	if !strings.Contains(out, "4.00") {
+		t.Fatalf("ratio missing:\n%s", out)
+	}
+}
+
+func TestDefaultIterationCounts(t *testing.T) {
+	// n <= 0 falls back to defaults without panicking (tiny check
+	// via the Ops fields of a real run would be slow; validate the
+	// guard arithmetic instead).
+	rows := Figure5(1)
+	if rows[1].Ops < 1 {
+		t.Fatalf("bound ops = %d", rows[1].Ops)
+	}
+}

@@ -1,0 +1,459 @@
+// Package core implements the paper's primary contribution: the
+// threads library that multiplexes extremely lightweight user-level
+// threads onto kernel-supported LWPs.
+//
+// A Runtime (the library instance for one process — "libthread")
+// owns:
+//
+//   - the thread table and the user-level run queue of unbound
+//     threads, ordered by thread priority;
+//   - a pool of LWPs that execute unbound threads. Each pool LWP's
+//     dispatcher loop picks the highest-priority runnable thread,
+//     assumes its identity (signal mask), and hands it the CPU; the
+//     thread hands control back when it blocks, yields, or exits —
+//     the paper's Figure 2 cycle, entirely in user space;
+//   - bound threads, each permanently attached to its own LWP, giving
+//     it kernel scheduling (real-time class, CPU binding, per-LWP
+//     timers) while retaining the whole thread API;
+//   - thread-local storage, per-thread signal masks, and the
+//     SIGWAITING-driven automatic growth of the LWP pool.
+//
+// # Context switching in this reproduction
+//
+// Real SunOS switches threads by saving and loading register state.
+// Go forbids that, so every thread is lazily given a goroutine that
+// runs only while it holds its LWP's grant; "saving thread state" is
+// the thread parking on its gate channel and returning control to the
+// LWP's dispatcher goroutine. The multiplexing structure — who is
+// allowed to run, on which LWP, with which mask, with no kernel
+// involvement on the switch path — is exactly the paper's. See
+// DESIGN.md for the substitution table.
+//
+// # Locking
+//
+// Runtime.mu guards all library-level scheduling state. It is never
+// held across a kernel call that can block (Park, Sleep, Start); it
+// may be held across non-blocking kernel calls (Unpark).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sunosmt/internal/sim"
+	"sunosmt/internal/trace"
+)
+
+// Config configures a Runtime.
+type Config struct {
+	// Trace, if non-nil, receives library events (thread dispatch,
+	// park, pool growth) for debugging and the Figure 2 demo.
+	Trace *trace.Buffer
+	// MaxAutoLWPs caps SIGWAITING-driven pool growth (default 64).
+	MaxAutoLWPs int
+	// DefaultStackSize is used when thread_create is given no
+	// stack (default 64 KiB, simulated).
+	DefaultStackSize int
+	// DisableSigwaiting turns off automatic LWP creation on
+	// SIGWAITING — the ablation knob for the deadlock-avoidance
+	// experiment.
+	DisableSigwaiting bool
+	// InitialLWP, if set, is adopted as the runtime's first pool
+	// LWP instead of creating a fresh one. Exec uses it to hand
+	// the single LWP the kernel rebuilds to the new image's
+	// runtime ("When exec() rebuilds the process, it creates a
+	// single LWP. The process startup code then builds the initial
+	// thread.").
+	InitialLWP *sim.LWP
+}
+
+// Runtime is the threads library instance for one process.
+type Runtime struct {
+	kern *sim.Kernel
+	proc *sim.Process
+	cfg  Config
+	tr   *trace.Buffer
+
+	mu      sync.Mutex
+	threads map[ThreadID]*Thread
+	nextID  ThreadID
+	nlive   int // threads not yet zombies
+	ndaemon int // live daemon threads
+
+	runq     runQueue
+	idle     []*poolLWP // idle pool LWPs, LIFO
+	pool     []*poolLWP // all pool LWPs
+	nparked  int
+	retiring int // pool LWPs asked to exit
+
+	concurrency int // thread_setconcurrency target; 0 = automatic
+
+	zombies   map[ThreadID]*Thread // THREAD_WAIT zombies awaiting thread_wait
+	waiters   map[ThreadID][]*Thread
+	anyWait   []*Thread
+	tsdKeys   []tsdEntry
+	dying     bool
+	exitWG    sync.WaitGroup // animator goroutines
+	exitedCh  chan struct{}
+	exitOnce  sync.Once
+	tlsSize   int
+	tlsFrozen bool
+
+	stackCache [][]byte // cached default stacks (paper: Fig 5 uses a cached stack)
+}
+
+// poolLWP is one LWP dedicated to running unbound threads.
+type poolLWP struct {
+	l    *sim.LWP
+	back chan struct{} // current thread returns control here
+	cur  *Thread       // guarded by Runtime.mu
+	die  bool          // retire at next dispatch point; guarded by mu
+}
+
+// allSigs is the fully-blocked mask installed on idle pool LWPs so
+// that interrupts are never routed to an LWP with no thread identity.
+const allSigs = ^sim.Sigset(0)
+
+// NewRuntime creates the threads library for proc. The process must
+// have no LWPs yet; the runtime creates the initial pool LWP that
+// will execute the main thread (the paper: "One lightweight process
+// is created by the kernel when a program is started, and it starts
+// executing the thread compiled as the main program").
+func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
+	if cfg.MaxAutoLWPs <= 0 {
+		cfg.MaxAutoLWPs = 64
+	}
+	if cfg.DefaultStackSize <= 0 {
+		cfg.DefaultStackSize = 64 << 10
+	}
+	m := &Runtime{
+		kern:     kern,
+		proc:     proc,
+		cfg:      cfg,
+		tr:       cfg.Trace,
+		threads:  make(map[ThreadID]*Thread),
+		zombies:  make(map[ThreadID]*Thread),
+		waiters:  make(map[ThreadID][]*Thread),
+		exitedCh: make(chan struct{}),
+	}
+	// The library consumes SIGWAITING privately (the hook is its
+	// ASLWP stand-in) and grows the pool when the kernel reports
+	// that every LWP is blocked indefinitely. The disposition is
+	// ignore so the notification never EINTRs the blocked LWPs
+	// themselves.
+	if !cfg.DisableSigwaiting {
+		kern.SetAction(proc, sim.SIGWAITING, sim.SigIgn, nil, 0)
+		proc.SetSigwaitingHook(m.onSigwaiting)
+	}
+	return m
+}
+
+// Kernel returns the kernel under this runtime.
+func (m *Runtime) Kernel() *sim.Kernel { return m.kern }
+
+// Process returns the kernel process this runtime manages.
+func (m *Runtime) Process() *sim.Process { return m.proc }
+
+// Exited is closed when the process has exited and all animator
+// goroutines have finished.
+func (m *Runtime) Exited() <-chan struct{} { return m.exitedCh }
+
+// Start creates the main thread running fn(arg) on the initial pool
+// LWP and returns it. It must be called exactly once.
+func (m *Runtime) Start(fn Func, arg any) (*Thread, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("core: nil main function")
+	}
+	m.mu.Lock()
+	m.tlsFrozen = true // program start freezes TLS size (paper)
+	m.mu.Unlock()
+	t, err := m.Create(fn, arg, CreateOpts{Flags: ThreadWait})
+	if err != nil {
+		return nil, err
+	}
+	if err := m.addPoolLWP(); err != nil {
+		return nil, err
+	}
+	go m.watchProcess()
+	return t, nil
+}
+
+// watchProcess reaps the runtime when the kernel process dies: any
+// user-level-parked threads (invisible to the kernel) are released so
+// their goroutines can unwind.
+func (m *Runtime) watchProcess() {
+	<-m.proc.Exited()
+	m.sweepDying()
+	m.exitWG.Wait()
+	m.exitOnce.Do(func() { close(m.exitedCh) })
+}
+
+// Shutdown tears down the runtime's user-level state: all parked
+// threads are released to unwind. The kernel process itself is not
+// touched; exec uses this to retire the old image's threads.
+func (m *Runtime) Shutdown() { m.sweepDying() }
+
+// sweepDying releases every user-parked thread of a dying process.
+// Idempotent and safe to call concurrently: each thread is granted at
+// most once (killed flag), and the grant is non-blocking.
+func (m *Runtime) sweepDying() {
+	m.mu.Lock()
+	m.dying = true
+	var parked []*Thread
+	for _, t := range m.threads {
+		if t.state != ThreadRunning && t.state != ThreadZombie && !t.bound() && t.started && !t.killed {
+			t.killed = true
+			parked = append(parked, t)
+		}
+	}
+	m.runq.clear()
+	m.mu.Unlock()
+	for _, t := range parked {
+		select {
+		case t.gate <- struct{}{}: // wakes in park(), observes dying, unwinds
+		default:
+		}
+	}
+}
+
+// --- LWP pool ----------------------------------------------------------
+
+// addPoolLWP creates one more LWP for running unbound threads (or
+// adopts the configured initial LWP the first time).
+func (m *Runtime) addPoolLWP() error {
+	var l *sim.LWP
+	m.mu.Lock()
+	if m.cfg.InitialLWP != nil {
+		l = m.cfg.InitialLWP
+		m.cfg.InitialLWP = nil
+	}
+	m.mu.Unlock()
+	if l == nil {
+		var err error
+		l, err = m.kern.NewLWP(m.proc, sim.ClassTS, 30)
+		if err != nil {
+			return err
+		}
+	}
+	pl := &poolLWP{l: l, back: make(chan struct{}, 1)}
+	m.mu.Lock()
+	m.pool = append(m.pool, pl)
+	m.mu.Unlock()
+	m.tr.Add("pool", "pool lwp %d created (%d total)", l.ID(), len(m.pool))
+	m.exitWG.Add(1)
+	go m.poolLoop(pl)
+	return nil
+}
+
+// poolLoop is the dispatcher: the paper's Figure 2. The LWP chooses a
+// thread, assumes its identity, runs it until it yields back, then
+// chooses another.
+func (m *Runtime) poolLoop(pl *poolLWP) {
+	defer m.exitWG.Done()
+	defer func() {
+		if r := recover(); r != nil && !sim.IsUnwind(r) {
+			panic(r)
+		}
+		m.kern.ExitLWP(pl.l)
+		m.mu.Lock()
+		m.removePoolLocked(pl)
+		m.mu.Unlock()
+		m.sweepIfDying()
+	}()
+	m.kern.Start(pl.l)
+	for {
+		t := m.nextThread(pl)
+		if t == nil {
+			return // retired
+		}
+		m.dispatch(pl, t)
+	}
+}
+
+func (m *Runtime) removePoolLocked(pl *poolLWP) {
+	for i, x := range m.pool {
+		if x == pl {
+			m.pool = append(m.pool[:i], m.pool[i+1:]...)
+			break
+		}
+	}
+	for i, x := range m.idle {
+		if x == pl {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			break
+		}
+	}
+}
+
+func (m *Runtime) sweepIfDying() {
+	if m.proc.Dying() {
+		m.sweepDying()
+	}
+}
+
+// nextThread returns the next thread for pl to run, parking the LWP
+// in the kernel while there is no work. A nil return retires the LWP.
+func (m *Runtime) nextThread(pl *poolLWP) *Thread {
+	for {
+		m.mu.Lock()
+		if pl.die || m.dying {
+			pl.die = true
+			m.mu.Unlock()
+			return nil
+		}
+		if t := m.runq.pop(); t != nil {
+			m.mu.Unlock()
+			return t
+		}
+		m.idle = append(m.idle, pl)
+		m.nparked++
+		m.mu.Unlock()
+		// Idle LWPs mask everything: an interrupt must be routed
+		// to an LWP that is executing a thread with the signal
+		// unmasked, never to an idle dispatcher.
+		m.kern.SetLWPMask(pl.l, sim.SigSetMask, allSigs)
+		m.kern.Park(pl.l)
+		m.mu.Lock()
+		m.nparked--
+		// We may still be on the idle list if the unpark came
+		// from a permit; drop ourselves.
+		for i, x := range m.idle {
+			if x == pl {
+				m.idle = append(m.idle[:i], m.idle[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// dispatch runs t on pl until t yields control back: Figure 2 steps
+// (a) choose thread, (b) assume identity and execute, (c) state saved
+// by the thread itself at its park point, (d) loop.
+func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
+	m.mu.Lock()
+	if t.killed || m.dying {
+		m.mu.Unlock()
+		t.grant() // let the goroutine (if any) unwind
+		return
+	}
+	t.state = ThreadRunning
+	t.lwp = pl
+	pl.cur = t
+	first := !t.started
+	t.started = true
+	m.mu.Unlock()
+
+	// The LWP assumes the thread's identity: its signal mask.
+	m.kern.SetLWPMask(pl.l, sim.SigSetMask, t.mask())
+	m.tr.Add("disp", "lwp %d runs thread %d", pl.l.ID(), t.id)
+
+	if first {
+		m.exitWG.Add(1)
+		go t.threadMain()
+	}
+	t.grant()
+	<-pl.back // thread parked, exited, or unwound
+	m.mu.Lock()
+	pl.cur = nil
+	m.mu.Unlock()
+}
+
+// yieldLWP returns control of the calling thread's LWP to its
+// dispatcher loop. Called on the thread goroutine with the thread
+// already transitioned off the LWP.
+func yieldLWP(pl *poolLWP) {
+	pl.back <- struct{}{}
+}
+
+// --- concurrency control ------------------------------------------------
+
+// SetConcurrency implements thread_setconcurrency(n): it sets the
+// number of LWPs available to run unbound threads. n == 0 restores
+// automatic (SIGWAITING-driven) sizing.
+func (m *Runtime) SetConcurrency(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: negative concurrency %d", n)
+	}
+	m.mu.Lock()
+	m.concurrency = n
+	have := len(m.pool) - m.retiring
+	var grow int
+	if n > 0 {
+		grow = n - have
+		if grow < 0 {
+			// Retire surplus idle LWPs: mark and unpark them.
+			shrink := -grow
+			for _, pl := range m.idle {
+				if shrink == 0 {
+					break
+				}
+				if !pl.die {
+					pl.die = true
+					m.retiring++
+					shrink--
+					m.kern.Unpark(pl.l)
+				}
+			}
+			// Any remainder retires lazily: mark busy LWPs.
+			for _, pl := range m.pool {
+				if shrink == 0 {
+					break
+				}
+				if !pl.die {
+					pl.die = true
+					m.retiring++
+					shrink--
+				}
+			}
+		}
+	}
+	m.mu.Unlock()
+	for i := 0; i < grow; i++ {
+		if err := m.addPoolLWP(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Concurrency reports the current number of pool LWPs.
+func (m *Runtime) Concurrency() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pool) - m.retiring
+}
+
+// onSigwaiting grows the pool when the kernel reports that all LWPs
+// are blocked in indefinite waits and runnable threads exist — the
+// deadlock-avoidance mechanism of the paper ("The threads package can
+// use the receipt of SIGWAITING to cause extra LWPs to be created as
+// required to avoid deadlock").
+func (m *Runtime) onSigwaiting() {
+	m.mu.Lock()
+	need := m.runq.len() > 0 && !m.dying &&
+		len(m.pool)-m.retiring < m.cfg.MaxAutoLWPs &&
+		m.concurrency == 0
+	m.mu.Unlock()
+	if !need {
+		return
+	}
+	m.tr.Add("pool", "SIGWAITING: growing LWP pool")
+	if err := m.addPoolLWP(); err != nil {
+		m.tr.Add("pool", "SIGWAITING growth failed: %v", err)
+	}
+}
+
+// PoolSize reports the number of pool LWPs (for tests and mtstat).
+func (m *Runtime) PoolSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pool)
+}
+
+// RunnableThreads reports the length of the user-level run queue.
+func (m *Runtime) RunnableThreads() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runq.len()
+}

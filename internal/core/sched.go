@@ -1,0 +1,291 @@
+package core
+
+import "sunosmt/internal/sim"
+
+// This file holds the user-level run queue and the thread execution
+// control interfaces: thread_wait, thread_stop, thread_continue,
+// thread_priority.
+
+// runQueue is the priority run queue of unbound runnable threads:
+// highest priority first, FIFO among equal priorities.
+type runQueue struct {
+	q []*Thread
+}
+
+func (r *runQueue) len() int { return len(r.q) }
+
+func (r *runQueue) push(t *Thread) { r.q = append(r.q, t) }
+
+// pop removes and returns the highest-priority thread (FIFO among
+// equals), or nil.
+func (r *runQueue) pop() *Thread {
+	best := -1
+	for i, t := range r.q {
+		if best < 0 || t.prio > r.q[best].prio {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	t := r.q[best]
+	r.q = append(r.q[:best], r.q[best+1:]...)
+	return t
+}
+
+func (r *runQueue) remove(t *Thread) bool {
+	for i, x := range r.q {
+		if x == t {
+			r.q = append(r.q[:i], r.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *runQueue) clear() { r.q = nil }
+
+// maxPrio returns the highest queued priority, or -1 when empty.
+func (r *runQueue) maxPrio() int {
+	best := -1
+	for _, t := range r.q {
+		if t.prio > best {
+			best = t.prio
+		}
+	}
+	return best
+}
+
+// Find returns the live thread with the given ID.
+func (m *Runtime) Find(id ThreadID) (*Thread, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.threads[id]
+	return t, ok
+}
+
+// NumThreads reports the number of live (non-zombie) threads.
+func (m *Runtime) NumThreads() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nlive
+}
+
+// Threads returns a snapshot of the live threads (for /proc and the
+// debugger cooperation interface).
+func (m *Runtime) Threads() []*Thread {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Thread, 0, len(m.threads))
+	for _, t := range m.threads {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Wait implements thread_wait: the calling thread blocks until the
+// thread with the given ID exits (id == 0: until any THREAD_WAIT
+// thread exits) and returns the ID of the exited thread. Per the
+// paper it is an error to wait for a thread created without
+// THREAD_WAIT, to wait for the current thread, or to have two waits
+// on one thread.
+func (caller *Thread) Wait(id ThreadID) (ThreadID, error) {
+	m := caller.m
+	if id == caller.id {
+		return 0, ErrSelfWait
+	}
+	for {
+		m.mu.Lock()
+		if id != 0 {
+			if z, ok := m.zombies[id]; ok {
+				m.reapLocked(z)
+				m.mu.Unlock()
+				return id, nil
+			}
+			target, ok := m.threads[id]
+			if !ok {
+				m.mu.Unlock()
+				return 0, ErrNoThread
+			}
+			if target.flags&ThreadWait == 0 {
+				m.mu.Unlock()
+				return 0, ErrNotWaited
+			}
+			if len(m.waiters[id]) > 0 {
+				m.mu.Unlock()
+				return 0, ErrDoubleWait
+			}
+			m.waiters[id] = append(m.waiters[id], caller)
+		} else {
+			for zid, z := range m.zombies {
+				m.reapLocked(z)
+				m.mu.Unlock()
+				return zid, nil
+			}
+			m.anyWait = append(m.anyWait, caller)
+		}
+		m.mu.Unlock()
+		caller.parkSelf(ThreadWaiting)
+		caller.Checkpoint()
+		// Loop: re-scan for our zombie. A wake permit or spurious
+		// wake simply re-checks.
+		m.mu.Lock()
+		// Deregister in case we were woken without our target
+		// having exited (any-wait broadcast).
+		if id != 0 {
+			delete(m.waiters, id)
+		} else {
+			m.anyWait = removeThread(m.anyWait, caller)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// reapLocked removes a zombie after a successful wait, reclaiming a
+// library-allocated stack into the cache (a programmer-supplied stack
+// is simply no longer referenced: the caller may reuse it, as the
+// paper specifies).
+func (m *Runtime) reapLocked(z *Thread) {
+	delete(m.zombies, z.id)
+	if z.stackOwn && len(m.stackCache) < 32 {
+		m.stackCache = append(m.stackCache, z.stack)
+	}
+}
+
+func removeThread(s []*Thread, t *Thread) []*Thread {
+	for i, x := range s {
+		if x == t {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Stop implements thread_stop(target): it prevents the target from
+// running and does not return until the target is stopped. caller may
+// be nil when the request comes from outside any thread (tests,
+// debugger). Stopping the calling thread stops it immediately.
+func (caller *Thread) Stop(target *Thread) error {
+	m := caller.m
+	if target == caller {
+		m.mu.Lock()
+		target.stopReq = true
+		m.mu.Unlock()
+		target.parkSelf(ThreadStopped)
+		return nil
+	}
+	m.mu.Lock()
+	if target.state == ThreadZombie {
+		m.mu.Unlock()
+		return ErrNoThread
+	}
+	target.stopReq = true
+	switch target.state {
+	case ThreadStopped:
+		m.mu.Unlock()
+		return nil
+	case ThreadRunnable:
+		if m.runq.remove(target) {
+			target.state = ThreadStopped
+			m.mu.Unlock()
+			return nil
+		}
+		// Bound and between queues: fall through to waiting.
+	case ThreadRunning:
+		target.preempt = true
+	}
+	// Wait until the target parks itself as stopped at its next
+	// checkpoint. The caller parks; the target's transition wakes
+	// stop-waiters.
+	target.stopWaiters = append(target.stopWaiters, caller)
+	m.mu.Unlock()
+	if target.bound() {
+		// Bound targets stop via their own checkpoint too; the
+		// kernel cannot stop a single LWP asynchronously (the
+		// simulation is cooperative), so the path is the same.
+		m.kern.Unpark(target.bndLWP) // kick it through a park, if parked
+	}
+	for {
+		m.mu.Lock()
+		stopped := target.state == ThreadStopped || target.state == ThreadZombie
+		m.mu.Unlock()
+		if stopped {
+			return nil
+		}
+		caller.parkSelf(ThreadWaiting)
+		caller.Checkpoint()
+	}
+}
+
+// Continue implements thread_continue: it (re)starts a stopped
+// thread. Its effect may be delayed (paper).
+func (m *Runtime) Continue(target *Thread) error {
+	m.mu.Lock()
+	if target.state == ThreadZombie {
+		m.mu.Unlock()
+		return ErrNoThread
+	}
+	target.stopReq = false
+	stopped := target.state == ThreadStopped
+	if stopped {
+		target.state = ThreadSleeping // so unparkInto re-enqueues
+	}
+	m.mu.Unlock()
+	if stopped {
+		m.unparkInto(target)
+	}
+	return nil
+}
+
+// noteStopped is called by a thread as it parks stopped, to release
+// thread_stop callers.
+func (t *Thread) noteStopped() {
+	m := t.m
+	m.mu.Lock()
+	waiters := t.stopWaiters
+	t.stopWaiters = nil
+	m.mu.Unlock()
+	for _, w := range waiters {
+		if w != nil {
+			m.unparkInto(w)
+		}
+	}
+}
+
+// SetPriority implements thread_priority: it sets the target's
+// priority and returns the old one. Priority must be >= 0; increasing
+// values give increasing scheduling priority.
+func (m *Runtime) SetPriority(target *Thread, prio int) (int, error) {
+	if prio < 0 {
+		return 0, ErrBadPrio
+	}
+	m.mu.Lock()
+	old := target.prio
+	target.prio = prio
+	// A runnable thread's queue position is recomputed at pop time,
+	// so no re-queue is needed; but a raised priority may warrant
+	// preempting a running thread.
+	if target.state == ThreadRunnable {
+		m.flagPreemptionLocked(prio)
+	}
+	m.mu.Unlock()
+	if target.bound() {
+		// Map thread priority onto the bound LWP's class priority
+		// so the kernel dispatcher honours it.
+		p := prio
+		if p > sim.MaxUserPrio {
+			p = sim.MaxUserPrio
+		}
+		if err := m.kern.Priocntl(target.bndLWP, target.bndLWP.Class(), p); err != nil {
+			return old, err
+		}
+	}
+	return old, nil
+}
+
+// Priority returns the thread's current priority.
+func (t *Thread) Priority() int {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.prio
+}

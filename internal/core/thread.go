@@ -1,0 +1,754 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sunosmt/internal/sim"
+)
+
+// ThreadID identifies a thread within its process; thread IDs have no
+// meaning outside the process (paper).
+type ThreadID int
+
+// Func is a thread body. Because Go provides no implicit
+// thread-local "current thread" register, the thread handle is passed
+// explicitly as the first argument; every potentially-blocking
+// library call takes the calling thread. This is the one deliberate
+// API deviation from Figure 4 and is recorded in DESIGN.md.
+type Func func(t *Thread, arg any)
+
+// CreateFlags are the or'able options of thread_create.
+type CreateFlags int
+
+// thread_create flags (paper, "Thread creation").
+const (
+	// ThreadStop: the thread is created suspended and will not run
+	// until Continue.
+	ThreadStop CreateFlags = 1 << iota
+	// ThreadNewLWP: create a new LWP and add it to the pool used
+	// to execute unbound threads.
+	ThreadNewLWP
+	// ThreadBindLWP: create a new LWP and permanently bind the new
+	// thread to it.
+	ThreadBindLWP
+	// ThreadWait: another thread will eventually thread_wait for
+	// this one; its ID is not reused until then.
+	ThreadWait
+	// ThreadDaemon threads do not keep the process alive: the
+	// process exits when only daemon threads remain. (An extension
+	// present in the shipped Solaris library.)
+	ThreadDaemon
+)
+
+// ThreadState is the library-level state of a thread.
+type ThreadState int
+
+// Thread states.
+const (
+	ThreadRunnable ThreadState = iota
+	ThreadRunning
+	ThreadSleeping // blocked on a synchronization object
+	ThreadStopped
+	ThreadWaiting // in thread_wait
+	ThreadZombie
+)
+
+// String implements fmt.Stringer.
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadRunning:
+		return "running"
+	case ThreadSleeping:
+		return "sleeping"
+	case ThreadStopped:
+		return "stopped"
+	case ThreadWaiting:
+		return "waiting"
+	case ThreadZombie:
+		return "zombie"
+	}
+	return fmt.Sprintf("ThreadState(%d)", int(s))
+}
+
+// Errors returned by thread operations.
+var (
+	ErrNoThread   = errors.New("core: no such thread")
+	ErrNotWaited  = errors.New("core: thread was not created with THREAD_WAIT")
+	ErrSelfWait   = errors.New("core: cannot wait for the current thread")
+	ErrDoubleWait = errors.New("core: another thread is already waiting")
+	ErrBadPrio    = errors.New("core: priority must be >= 0")
+	ErrExiting    = errors.New("core: process is exiting")
+)
+
+// CreateOpts carries the optional thread_create parameters.
+type CreateOpts struct {
+	Flags CreateFlags
+	// Stack is the caller-supplied stack (stack_addr/stack_size);
+	// nil means the library allocates (and caches) a default
+	// stack. Thread-local storage is carved from the top of a
+	// caller-supplied stack so the library never calls malloc on
+	// the caller's behalf (paper design goal).
+	Stack []byte
+	// StackSize requests a specific library-allocated stack size
+	// when Stack is nil.
+	StackSize int
+	// Priority sets the initial priority when > 0; the zero value
+	// keeps the library default (1). Higher values win.
+	Priority int
+}
+
+// Thread is a user-level thread: per the paper its unique state is
+// the thread ID, register state (here: the goroutine and gate),
+// stack, signal mask, priority, and thread-local storage.
+type Thread struct {
+	m     *Runtime
+	id    ThreadID
+	flags CreateFlags
+	fn    Func
+	arg   any
+
+	gate chan struct{} // run grant; buffered(1)
+
+	// All fields below are guarded by m.mu unless noted.
+	state       ThreadState
+	prio        int
+	lwp         *poolLWP // while running unbound
+	bndLWP      *sim.LWP // bound threads only; immutable after create
+	started     bool
+	killed      bool
+	preempt     bool
+	stopReq     bool
+	wakePermit  bool
+	stopWaiters []*Thread
+	sigmask     sim.Sigset // also mirrored into the LWP while running
+	pending     sim.Sigset // thread-directed pending signals
+	errno       int
+	forkCont    Func
+	forkArg     any
+	tsd         map[TSDKey]any
+	tls         []byte
+	stack       []byte
+	stackOwn    bool // stack came from the library cache
+	waitedBy    *Thread
+	exitCh      chan struct{}
+}
+
+// ID implements thread_get_id for this thread handle.
+func (t *Thread) ID() ThreadID { return t.id }
+
+// Runtime returns the owning threads library instance.
+func (t *Thread) Runtime() *Runtime { return t.m }
+
+// State reports the thread's current state.
+func (t *Thread) State() ThreadState {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.state
+}
+
+// Bound reports whether the thread is permanently bound to an LWP.
+func (t *Thread) Bound() bool { return t.bndLWP != nil }
+
+func (t *Thread) bound() bool { return t.bndLWP != nil }
+
+// LWP returns the LWP currently executing the thread. For bound
+// threads this never changes; for unbound threads it is only
+// meaningful from the thread itself while running.
+func (t *Thread) LWP() *sim.LWP {
+	if t.bndLWP != nil {
+		return t.bndLWP
+	}
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.lwp != nil {
+		return t.lwp.l
+	}
+	return nil
+}
+
+// grant hands the CPU to the thread's goroutine.
+func (t *Thread) grant() { t.gate <- struct{}{} }
+
+// Create implements thread_create: it allocates the thread and makes
+// it runnable (or stopped, with ThreadStop). Creation of an unbound
+// thread involves no kernel call — the property behind the 42x ratio
+// in the paper's Figure 5.
+func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("core: nil thread function")
+	}
+	m.mu.Lock()
+	if m.dying {
+		m.mu.Unlock()
+		return nil, ErrExiting
+	}
+	m.tlsFrozen = true
+	m.nextID++
+	t := &Thread{
+		m:      m,
+		id:     m.nextID,
+		flags:  opts.Flags,
+		fn:     fn,
+		arg:    arg,
+		gate:   make(chan struct{}, 1),
+		prio:   1,
+		exitCh: make(chan struct{}),
+	}
+	if opts.Priority > 0 {
+		t.prio = opts.Priority
+	}
+	// Stack: caller-supplied, else from the library's cache. TLS
+	// is placed in the stack allocation so the library does not
+	// interfere with the application's memory allocator.
+	tlsSize := m.tlsSize
+	switch {
+	case opts.Stack != nil:
+		t.stack = opts.Stack
+		if len(t.stack) < tlsSize {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("core: stack smaller than thread-local storage (%d < %d)", len(t.stack), tlsSize)
+		}
+		t.tls = t.stack[len(t.stack)-tlsSize:]
+	default:
+		size := opts.StackSize
+		if size <= 0 {
+			size = m.cfg.DefaultStackSize
+		}
+		t.stack = m.stackFromCacheLocked(size + tlsSize)
+		t.stackOwn = true
+		t.tls = t.stack[len(t.stack)-tlsSize:]
+		if tlsSize == 0 {
+			t.tls = nil
+		}
+	}
+	for i := range t.tls {
+		t.tls[i] = 0 // TLS starts zeroed (paper)
+	}
+	m.threads[t.id] = t
+	m.nlive++
+	if opts.Flags&ThreadDaemon != 0 {
+		m.ndaemon++
+	}
+	bind := opts.Flags&ThreadBindLWP != 0
+	if opts.Flags&ThreadStop != 0 {
+		t.state = ThreadStopped
+		t.stopReq = true
+	} else {
+		t.state = ThreadRunnable
+	}
+	m.mu.Unlock()
+
+	if opts.Flags&ThreadNewLWP != 0 && !bind {
+		// THREAD_NEW_LWP increments the pool.
+		if err := m.addPoolLWP(); err != nil {
+			return nil, err
+		}
+	}
+	if bind {
+		l, err := m.kern.NewLWP(m.proc, sim.ClassTS, 30)
+		if err != nil {
+			return nil, err
+		}
+		t.bndLWP = l
+		m.exitWG.Add(1)
+		m.mu.Lock()
+		t.started = true
+		m.mu.Unlock()
+		go t.boundMain()
+		return t, nil
+	}
+	if opts.Flags&ThreadStop == 0 {
+		m.enqueue(t)
+	}
+	return t, nil
+}
+
+// stackFromCacheLocked reuses a cached default stack when one fits.
+func (m *Runtime) stackFromCacheLocked(size int) []byte {
+	for i, s := range m.stackCache {
+		if len(s) >= size {
+			m.stackCache = append(m.stackCache[:i], m.stackCache[i+1:]...)
+			return s
+		}
+	}
+	return make([]byte, size)
+}
+
+// enqueue makes an unbound thread runnable and finds it an LWP.
+func (m *Runtime) enqueue(t *Thread) {
+	m.mu.Lock()
+	if t.state == ThreadZombie || m.dying {
+		m.mu.Unlock()
+		return
+	}
+	t.state = ThreadRunnable
+	m.runq.push(t)
+	// Wake an idle LWP if there is one; otherwise ask a
+	// lower-priority running thread to yield.
+	var wake *poolLWP
+	if n := len(m.idle); n > 0 {
+		wake = m.idle[n-1]
+		m.idle = m.idle[:n-1]
+	} else {
+		m.flagPreemptionLocked(t.prio)
+	}
+	m.mu.Unlock()
+	if wake != nil {
+		m.kern.Unpark(wake.l)
+	}
+}
+
+// flagPreemptionLocked marks the lowest-priority running unbound
+// thread for preemption if it is beneath prio.
+func (m *Runtime) flagPreemptionLocked(prio int) {
+	var victim *Thread
+	for _, pl := range m.pool {
+		if pl.cur != nil && (victim == nil || pl.cur.prio < victim.prio) {
+			victim = pl.cur
+		}
+	}
+	if victim != nil && victim.prio < prio {
+		victim.preempt = true
+	}
+}
+
+// threadMain is the goroutine body of an unbound thread.
+func (t *Thread) threadMain() {
+	defer t.m.exitWG.Done()
+	defer t.releaseOnUnwind()
+	<-t.gate // first dispatch
+	if t.checkKilled() {
+		return
+	}
+	t.pollSignals()
+	t.callBody()
+	t.retire()
+}
+
+// callBody runs the thread function, turning Thread.Exit's panic into
+// a normal return.
+func (t *Thread) callBody() {
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(threadExitPanic); ok && te.t == t {
+				return
+			}
+			panic(r)
+		}
+	}()
+	t.fn(t, t.arg)
+}
+
+// releaseOnUnwind recovers a kernel unwind (process death, exec,
+// exit) that tore through the thread body. It accounts the thread as
+// gone and, crucially, releases the LWP dispatcher goroutine that is
+// waiting for this thread to hand control back.
+func (t *Thread) releaseOnUnwind() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if !sim.IsUnwind(r) {
+		panic(r)
+	}
+	m := t.m
+	m.threadGone(t)
+	m.mu.Lock()
+	var pl *poolLWP
+	for _, x := range m.pool {
+		if x.cur == t {
+			pl = x
+			break
+		}
+	}
+	m.mu.Unlock()
+	if pl != nil {
+		yieldLWP(pl)
+	}
+	m.sweepIfDying()
+}
+
+// boundMain is the goroutine body of a bound thread: it animates its
+// own LWP for the thread's whole life.
+func (t *Thread) boundMain() {
+	defer t.m.exitWG.Done()
+	defer func() {
+		r := recover()
+		if r != nil && !sim.IsUnwind(r) {
+			panic(r)
+		}
+		t.m.kern.ExitLWP(t.bndLWP)
+		if r != nil {
+			t.m.threadGone(t)
+			t.m.sweepIfDying()
+		}
+	}()
+	m := t.m
+	m.kern.Start(t.bndLWP)
+	m.kern.SetLWPMask(t.bndLWP, sim.SigSetMask, t.mask())
+	m.mu.Lock()
+	stopped := t.stopReq
+	if !stopped {
+		t.state = ThreadRunning
+	}
+	m.mu.Unlock()
+	if stopped {
+		t.parkSelf(ThreadStopped)
+	}
+	t.pollSignals()
+	t.callBody()
+	t.retire()
+}
+
+// currentPL returns the pool LWP the thread is on, or nil.
+func (t *Thread) currentPL() *poolLWP {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.lwp
+}
+
+func (t *Thread) checkKilled() bool {
+	t.m.mu.Lock()
+	killed := t.killed || t.m.dying
+	t.m.mu.Unlock()
+	if killed {
+		t.m.threadGone(t)
+		// We were granted by the sweeper, not a dispatcher; no
+		// LWP to give back.
+		return true
+	}
+	return false
+}
+
+// parkSelf blocks the calling thread with the given state until
+// someone re-enqueues it. This is the user-level context switch: for
+// unbound threads control returns to the LWP dispatcher with no
+// kernel involvement. A wake permit left by an earlier Unpark (the
+// wake raced ahead of the park) is consumed and the park elided, so
+// the synchronization primitives built on park/unpark are race-free.
+func (t *Thread) parkSelf(state ThreadState) {
+	m := t.m
+	m.mu.Lock()
+	switch state {
+	case ThreadSleeping, ThreadWaiting:
+		if t.wakePermit && !t.bound() {
+			t.wakePermit = false
+			m.mu.Unlock()
+			return
+		}
+	case ThreadStopped:
+		// A thread_continue that raced ahead of this park wins:
+		// the stop never takes effect.
+		if !t.stopReq {
+			m.mu.Unlock()
+			return
+		}
+	}
+	if t.bound() {
+		t.state = state
+		m.mu.Unlock()
+		if state == ThreadStopped {
+			t.noteStopped()
+		}
+		m.kern.Park(t.bndLWP) // kernel park has its own permit
+		m.mu.Lock()
+		t.state = ThreadRunning
+		m.mu.Unlock()
+		t.stopIfRequested(state)
+		return
+	}
+	pl := t.lwp
+	t.state = state
+	t.lwp = nil
+	m.mu.Unlock()
+	if state == ThreadStopped {
+		t.noteStopped()
+	}
+	m.tr.Add("park", "thread %d parks (%v) on lwp %d", t.id, state, pl.l.ID())
+	yieldLWP(pl)
+	<-t.gate
+	t.checkKilledPanic()
+	t.stopIfRequested(state)
+}
+
+// stopIfRequested honours a thread_stop that arrived while the thread
+// was parked: the wake becomes a stop at this dispatch point rather
+// than a resumption.
+func (t *Thread) stopIfRequested(prev ThreadState) {
+	if prev == ThreadStopped {
+		return // just woke from the stop itself
+	}
+	t.m.mu.Lock()
+	stop := t.stopReq
+	t.m.mu.Unlock()
+	if stop {
+		t.parkSelf(ThreadStopped)
+	}
+}
+
+// checkKilledPanic unwinds a thread that was granted by the dying
+// sweep rather than a dispatcher.
+func (t *Thread) checkKilledPanic() bool {
+	t.m.mu.Lock()
+	killed := t.killed || t.m.dying
+	t.m.mu.Unlock()
+	if killed {
+		panic(&sim.Unwind{Proc: t.m.proc, Reason: "process dying"})
+	}
+	return false
+}
+
+// unparkInto re-enqueues a previously parked thread. If the thread
+// has not parked yet (the wake raced ahead), a wake permit is left
+// for its park to consume.
+func (m *Runtime) unparkInto(t *Thread) {
+	if t.bound() {
+		m.mu.Lock()
+		if t.state != ThreadZombie {
+			t.state = ThreadRunnable
+		}
+		m.mu.Unlock()
+		m.kern.Unpark(t.bndLWP)
+		return
+	}
+	m.mu.Lock()
+	switch t.state {
+	case ThreadSleeping, ThreadWaiting:
+		m.mu.Unlock()
+		m.enqueue(t)
+	case ThreadZombie:
+		m.mu.Unlock()
+	default:
+		t.wakePermit = true
+		m.mu.Unlock()
+	}
+}
+
+// Unpark makes a thread parked with Park runnable again (or leaves a
+// wake permit if it has not parked yet). The synchronization package
+// uses this as the wake half of its sleep queues.
+func (t *Thread) Unpark() { t.m.unparkInto(t) }
+
+// Park blocks the calling thread as sleeping on a synchronization
+// object until Unpark. For an unbound thread this switches to another
+// thread with no kernel involvement.
+func (t *Thread) Park() { t.parkSelf(ThreadSleeping) }
+
+// Yield gives up the processor to a higher- or equal-priority thread,
+// if any (thr_yield). For an unbound thread this is a pure user-level
+// operation unless the run queue is empty.
+func (t *Thread) Yield() {
+	m := t.m
+	if t.bound() {
+		m.kern.Yield(t.bndLWP)
+		t.Checkpoint()
+		return
+	}
+	m.mu.Lock()
+	hasWork := m.runq.len() > 0
+	if hasWork {
+		t.state = ThreadRunnable
+		m.runq.push(t)
+		pl := t.lwp
+		t.lwp = nil
+		m.mu.Unlock()
+		yieldLWP(pl)
+		<-t.gate
+		t.checkKilledPanic()
+	} else {
+		m.mu.Unlock()
+		// Nothing else to run; let the kernel checkpoint.
+		if pl := t.currentPL(); pl != nil {
+			m.kern.Checkpoint(pl.l)
+		}
+	}
+	t.Checkpoint()
+}
+
+// Checkpoint is the thread-level preemption point: it honours stop
+// requests, library preemption flags, pending thread signals, and
+// kernel checkpoints. Synchronization operations call it.
+func (t *Thread) Checkpoint() {
+	m := t.m
+	m.mu.Lock()
+	stop := t.stopReq
+	preempt := t.preempt
+	t.preempt = false
+	m.mu.Unlock()
+	if stop {
+		t.parkSelf(ThreadStopped)
+	}
+	if preempt && !t.bound() {
+		m.mu.Lock()
+		if m.runq.len() > 0 {
+			t.state = ThreadRunnable
+			m.runq.push(t)
+			pl := t.lwp
+			t.lwp = nil
+			m.mu.Unlock()
+			yieldLWP(pl)
+			<-t.gate
+			t.checkKilledPanic()
+		} else {
+			m.mu.Unlock()
+		}
+	}
+	if l := t.LWP(); l != nil {
+		m.kern.Checkpoint(l)
+	}
+	// Always poll: thread-directed signals (thread_kill) pend at
+	// the library level, invisible to the kernel checkpoint.
+	t.pollSignals()
+}
+
+// Exit implements thread_exit for the calling thread: it terminates
+// the thread and deallocates library resources. It never returns (it
+// unwinds to the thread's entry frame).
+func (t *Thread) Exit() {
+	panic(threadExitPanic{t})
+}
+
+type threadExitPanic struct{ t *Thread }
+
+// retire is the common end-of-life path, run on the thread's own
+// goroutine after its body returns (or Exit unwinds).
+func (t *Thread) retire() {
+	t.runTSDDestructors()
+	m := t.m
+	m.mu.Lock()
+	if t.state == ThreadZombie {
+		m.mu.Unlock()
+		return
+	}
+	t.state = ThreadZombie
+	pl := t.lwp
+	t.lwp = nil
+	delete(m.threads, t.id)
+	m.nlive--
+	if t.flags&ThreadDaemon != 0 {
+		m.ndaemon--
+	}
+	var wake []*Thread
+	if t.flags&ThreadWait != 0 {
+		m.zombies[t.id] = t
+		wake = append(wake, m.waiters[t.id]...)
+		delete(m.waiters, t.id)
+		wake = append(wake, m.anyWait...)
+		m.anyWait = nil
+	} else if t.stackOwn && len(m.stackCache) < 32 {
+		// Default stacks are cached by the threads package
+		// (paper, Figure 5 setup).
+		m.stackCache = append(m.stackCache, t.stack)
+	}
+	last := m.nlive-m.ndaemon == 0 && !m.dying
+	m.mu.Unlock()
+	close(t.exitCh)
+	m.tr.Add("thread", "thread %d exits", t.id)
+	for _, w := range wake {
+		m.unparkInto(w)
+	}
+	if last && !m.proc.Dying() {
+		// The last non-daemon thread exited: the process exits,
+		// destroying all LWPs. The kernel unwind is caught by
+		// releaseOnUnwind, which hands the LWP back to its
+		// dispatcher for its own unwinding.
+		l := t.bndLWP
+		if l == nil && pl != nil {
+			l = pl.l
+		}
+		if l != nil {
+			m.kern.Exit(l, 0)
+		}
+		return
+	}
+	if t.bound() {
+		return // boundMain's defer retires the LWP
+	}
+	if pl != nil {
+		yieldLWP(pl)
+	}
+}
+
+// ExitProcess implements exit(2) from a thread: all threads and LWPs
+// in the process are destroyed (paper: "if one thread calls exit(),
+// all threads are destroyed"). It never returns.
+func (t *Thread) ExitProcess(status int) {
+	l := t.LWP()
+	if l == nil {
+		panic("core: ExitProcess outside a running thread")
+	}
+	t.m.kern.Exit(l, status)
+}
+
+// SetForkContinuation registers the function a full fork() re-creates
+// this thread with in the child process. Goroutine stacks cannot be
+// cloned in Go, so duplicated threads resume from an explicit
+// continuation rather than mid-stack; threads without one simply do
+// not reappear in the child (see DESIGN.md).
+func (t *Thread) SetForkContinuation(fn Func, arg any) {
+	t.m.mu.Lock()
+	t.forkCont = fn
+	t.forkArg = arg
+	t.m.mu.Unlock()
+}
+
+// ForkContinuation returns the registered continuation, if any.
+func (t *Thread) ForkContinuation() (Func, any) {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.forkCont, t.forkArg
+}
+
+// Exec implements the thread side of exec(2): it detaches the calling
+// thread from the pool, performs the kernel exec (destroying every
+// other LWP and, cooperatively, every other thread), tears down this
+// runtime's user-level state, and returns the fresh LWP 0 from which
+// the caller builds the new image's runtime. The calling thread must
+// call Exit (or return) immediately afterwards.
+func (t *Thread) Exec(name string) (*sim.LWP, error) {
+	m := t.m
+	k := m.kern
+	// Move onto a private LWP so the pool dispatcher gets its LWP
+	// back and can be torn down like the rest.
+	l2, err := k.NewLWP(m.proc, sim.ClassTS, 30)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	pl := t.lwp
+	t.lwp = nil
+	t.bndLWP = l2
+	m.mu.Unlock()
+	if pl != nil {
+		yieldLWP(pl)
+	}
+	k.Start(l2)
+	nl, err := k.Exec(l2, name)
+	if err != nil {
+		return nil, err
+	}
+	m.Shutdown()
+	return nl, nil
+}
+
+// threadGone is the idempotent forced-retirement used when a kernel
+// unwind (process death) tears a thread down outside retire.
+func (m *Runtime) threadGone(t *Thread) {
+	m.mu.Lock()
+	if t.state == ThreadZombie {
+		m.mu.Unlock()
+		return
+	}
+	t.state = ThreadZombie
+	t.lwp = nil
+	delete(m.threads, t.id)
+	m.nlive--
+	if t.flags&ThreadDaemon != 0 {
+		m.ndaemon--
+	}
+	m.mu.Unlock()
+	close(t.exitCh)
+}

@@ -1,0 +1,72 @@
+package core
+
+import "fmt"
+
+// This file implements POSIX-style thread-specific data, the "more
+// dynamic mechanism" the paper says "can be built using thread-local
+// storage". Keys are created process-wide with an optional
+// destructor; each thread carries its own value slot per key (the
+// per-thread anchor is the thread's TLS block); destructors run, in
+// unspecified key order, when a thread exits voluntarily.
+
+// TSDKey names one item of thread-specific data.
+type TSDKey int
+
+// tsdEntry is a registered key.
+type tsdEntry struct {
+	destructor func(value any)
+}
+
+// CreateTSDKey allocates a new key (pthread_key_create). Unlike TLS
+// registration, keys may be created at any time — the dynamism the
+// paper contrasts with the frozen-size #pragma unshared storage.
+func (m *Runtime) CreateTSDKey(destructor func(value any)) TSDKey {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tsdKeys = append(m.tsdKeys, tsdEntry{destructor: destructor})
+	return TSDKey(len(m.tsdKeys) - 1)
+}
+
+// SetSpecific binds a value to (thread, key), like
+// pthread_setspecific.
+func (t *Thread) SetSpecific(k TSDKey, v any) error {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(k) < 0 || int(k) >= len(m.tsdKeys) {
+		return fmt.Errorf("core: bad TSD key %d", int(k))
+	}
+	if t.tsd == nil {
+		t.tsd = make(map[TSDKey]any)
+	}
+	if v == nil {
+		delete(t.tsd, k)
+	} else {
+		t.tsd[k] = v
+	}
+	return nil
+}
+
+// GetSpecific returns the calling thread's value for the key, or nil.
+func (t *Thread) GetSpecific(k TSDKey) any {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return t.tsd[k]
+}
+
+// runTSDDestructors runs the exiting thread's destructors on its
+// bound values. Runs on the thread's own goroutine, outside m.mu.
+func (t *Thread) runTSDDestructors() {
+	m := t.m
+	m.mu.Lock()
+	vals := t.tsd
+	t.tsd = nil
+	keys := m.tsdKeys
+	m.mu.Unlock()
+	for k, v := range vals {
+		if int(k) < len(keys) && keys[k].destructor != nil {
+			keys[k].destructor(v)
+		}
+	}
+}

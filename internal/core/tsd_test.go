@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTSDPerThreadIsolation(t *testing.T) {
+	m := rt(t, 1, Config{}, func(self *Thread, arg any) {
+		r := self.Runtime()
+		k := r.CreateTSDKey(nil)
+		self.SetSpecific(k, "main")
+		c, _ := r.Create(func(c *Thread, _ any) {
+			if got := c.GetSpecific(k); got != nil {
+				t.Errorf("child saw %v for unset key", got)
+			}
+			c.SetSpecific(k, "child")
+		}, nil, CreateOpts{Flags: ThreadWait})
+		self.Wait(c.ID())
+		if got := self.GetSpecific(k); got != "main" {
+			t.Errorf("main's value = %v", got)
+		}
+	})
+	waitExit(t, m)
+}
+
+func TestTSDDestructorRunsAtExit(t *testing.T) {
+	var destroyed atomic.Value
+	m := rt(t, 1, Config{}, func(self *Thread, arg any) {
+		r := self.Runtime()
+		k := r.CreateTSDKey(func(v any) { destroyed.Store(v) })
+		c, _ := r.Create(func(c *Thread, _ any) {
+			c.SetSpecific(k, "resource-42")
+		}, nil, CreateOpts{Flags: ThreadWait})
+		self.Wait(c.ID())
+		if destroyed.Load() != "resource-42" {
+			t.Errorf("destructor got %v", destroyed.Load())
+		}
+	})
+	waitExit(t, m)
+}
+
+func TestTSDKeysAreDynamic(t *testing.T) {
+	// Unlike TLS, keys can be created after threads exist.
+	m := rt(t, 1, Config{}, func(self *Thread, arg any) {
+		r := self.Runtime()
+		k1 := r.CreateTSDKey(nil)
+		k2 := r.CreateTSDKey(nil)
+		if k1 == k2 {
+			t.Error("duplicate keys")
+		}
+		if err := self.SetSpecific(TSDKey(99), 1); err == nil {
+			t.Error("bad key accepted")
+		}
+		// nil value clears the slot.
+		self.SetSpecific(k1, "x")
+		self.SetSpecific(k1, nil)
+		if got := self.GetSpecific(k1); got != nil {
+			t.Errorf("cleared slot = %v", got)
+		}
+	})
+	waitExit(t, m)
+}
+
+func TestTSDDestructorSkippedOnProcessDeath(t *testing.T) {
+	var destroyed atomic.Bool
+	m := rt(t, 1, Config{}, func(self *Thread, arg any) {
+		r := self.Runtime()
+		k := r.CreateTSDKey(func(any) { destroyed.Store(true) })
+		self.SetSpecific(k, "doomed")
+		self.ExitProcess(3) // involuntary teardown: destructors skipped
+	})
+	waitExit(t, m)
+	if destroyed.Load() {
+		t.Fatal("destructor ran during process death")
+	}
+}

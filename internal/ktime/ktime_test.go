@@ -1,0 +1,238 @@
+package ktime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestManualNowStartsAtZero(t *testing.T) {
+	m := NewManual()
+	if got := m.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestManualAdvanceMovesNow(t *testing.T) {
+	m := NewManual()
+	m.Advance(3 * time.Second)
+	if got := m.Now(); got != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", got)
+	}
+	m.Advance(0)
+	if got := m.Now(); got != 3*time.Second {
+		t.Fatalf("Now() after Advance(0) = %v, want 3s", got)
+	}
+}
+
+func TestManualNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative Advance")
+		}
+	}()
+	NewManual().Advance(-time.Second)
+}
+
+func TestManualTimerFiresAtDeadline(t *testing.T) {
+	m := NewManual()
+	var fired atomic.Bool
+	m.AfterFunc(10*time.Millisecond, func() { fired.Store(true) })
+	m.Advance(9 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("timer fired before deadline")
+	}
+	m.Advance(time.Millisecond)
+	if !fired.Load() {
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestManualTimerSeesDeadlineTime(t *testing.T) {
+	m := NewManual()
+	var at time.Duration
+	m.AfterFunc(10*time.Millisecond, func() { at = m.Now() })
+	m.Advance(time.Second)
+	if at != 10*time.Millisecond {
+		t.Fatalf("callback observed Now()=%v, want 10ms", at)
+	}
+}
+
+func TestManualTimersFireInDeadlineOrder(t *testing.T) {
+	m := NewManual()
+	var order []int
+	m.AfterFunc(30*time.Millisecond, func() { order = append(order, 3) })
+	m.AfterFunc(10*time.Millisecond, func() { order = append(order, 1) })
+	m.AfterFunc(20*time.Millisecond, func() { order = append(order, 2) })
+	m.Advance(time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestManualEqualDeadlinesFIFO(t *testing.T) {
+	m := NewManual()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		m.AfterFunc(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	m.Advance(5 * time.Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-deadline order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestManualStopPreventsFire(t *testing.T) {
+	m := NewManual()
+	var fired atomic.Bool
+	tm := m.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on armed timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	m.Advance(time.Second)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestManualStopAfterFire(t *testing.T) {
+	m := NewManual()
+	tm := m.AfterFunc(time.Millisecond, func() {})
+	m.Advance(time.Millisecond)
+	if tm.Stop() {
+		t.Fatal("Stop() = true after fire, want false")
+	}
+}
+
+func TestManualTimerArmedInsideCallback(t *testing.T) {
+	m := NewManual()
+	var second atomic.Bool
+	m.AfterFunc(time.Millisecond, func() {
+		m.AfterFunc(time.Millisecond, func() { second.Store(true) })
+	})
+	m.Advance(10 * time.Millisecond)
+	if !second.Load() {
+		t.Fatal("timer armed inside a callback did not fire within the same Advance")
+	}
+}
+
+func TestManualPendingTimers(t *testing.T) {
+	m := NewManual()
+	a := m.AfterFunc(time.Millisecond, func() {})
+	m.AfterFunc(2*time.Millisecond, func() {})
+	if got := m.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers() = %d, want 2", got)
+	}
+	a.Stop()
+	if got := m.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers() after Stop = %d, want 1", got)
+	}
+	m.Advance(time.Hour)
+	if got := m.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers() after fire = %d, want 0", got)
+	}
+}
+
+func TestManualConcurrentAfterFunc(t *testing.T) {
+	m := NewManual()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				m.AfterFunc(time.Duration(j)*time.Millisecond, func() { count.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	m.Advance(time.Second)
+	if count.Load() != 50*20 {
+		t.Fatalf("fired %d timers, want %d", count.Load(), 50*20)
+	}
+}
+
+func TestRealClockAdvances(t *testing.T) {
+	r := NewReal()
+	t0 := r.Now()
+	time.Sleep(2 * time.Millisecond)
+	if r.Now() <= t0 {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestRealAfterFunc(t *testing.T) {
+	r := NewReal()
+	ch := make(chan struct{})
+	r.AfterFunc(time.Millisecond, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestSleepOnManualClock(t *testing.T) {
+	m := NewManual()
+	done := make(chan struct{})
+	go func() {
+		Sleep(m, 100*time.Millisecond)
+		close(done)
+	}()
+	// Wait until the sleeper has armed its timer.
+	for m.PendingTimers() == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	m.Advance(100 * time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+// Property: for any sequence of timer durations, advancing past the
+// maximum fires all of them, and the observed fire order is sorted by
+// deadline.
+func TestManualFireOrderProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		m := NewManual()
+		type rec struct{ when time.Duration }
+		var mu sync.Mutex
+		var fires []rec
+		var max time.Duration
+		for _, d := range ds {
+			dd := time.Duration(d) * time.Microsecond
+			if dd > max {
+				max = dd
+			}
+			m.AfterFunc(dd, func() {
+				mu.Lock()
+				fires = append(fires, rec{m.Now()})
+				mu.Unlock()
+			})
+		}
+		m.Advance(max + time.Second)
+		if len(fires) != len(ds) {
+			return false
+		}
+		for i := 1; i < len(fires); i++ {
+			if fires[i].when < fires[i-1].when {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package liblwp
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sunosmt/internal/sim"
+	"sunosmt/internal/vfs"
+)
+
+type env struct {
+	k   *sim.Kernel
+	fs  *vfs.FS
+	p   *sim.Process
+	pf  *vfs.ProcFiles
+	pkg *Pkg
+}
+
+func newEnv(t *testing.T, ncpu int) *env {
+	t.Helper()
+	k := sim.NewKernel(sim.Config{NCPU: ncpu})
+	fs := vfs.NewFS(k)
+	p := k.NewProcess("liblwp", nil)
+	pf := vfs.NewProcFiles(fs, p)
+	pkg, err := New(k, p, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{k: k, fs: fs, p: p, pf: pf, pkg: pkg}
+}
+
+func run(t *testing.T, e *env, main func(*GThread)) error {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() { errc <- e.pkg.Run(main) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-time.After(10 * time.Second):
+		t.Fatal("liblwp run timed out")
+		return nil
+	}
+}
+
+func TestGreenThreadsInterleaveOnOneLWP(t *testing.T) {
+	e := newEnv(t, 1)
+	var order []int
+	err := run(t, e, func(g *GThread) {
+		for i := 1; i <= 2; i++ {
+			i := i
+			g.pkg.Create(func(w *GThread) {
+				for j := 0; j < 3; j++ {
+					order = append(order, i)
+					w.Yield()
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] == order[1] && order[1] == order[2] {
+		t.Fatalf("no interleaving: %v", order)
+	}
+}
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	e := newEnv(t, 1)
+	var m Mon
+	counter := 0
+	err := run(t, e, func(g *GThread) {
+		for i := 0; i < 3; i++ {
+			g.pkg.Create(func(w *GThread) {
+				for j := 0; j < 100; j++ {
+					m.Enter(w)
+					counter++
+					if j%10 == 0 {
+						w.Yield() // yields inside the critical section are safe
+					}
+					m.Exit(w)
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != 300 {
+		t.Fatalf("counter = %d, want 300", counter)
+	}
+}
+
+func TestSemaphoreProducerConsumer(t *testing.T) {
+	e := newEnv(t, 1)
+	var items Sema
+	consumed := 0
+	err := run(t, e, func(g *GThread) {
+		g.pkg.Create(func(c *GThread) {
+			for i := 0; i < 20; i++ {
+				items.P(c)
+				consumed++
+			}
+		})
+		g.pkg.Create(func(p *GThread) {
+			for i := 0; i < 20; i++ {
+				items.V(p)
+				p.Yield()
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 20 {
+		t.Fatalf("consumed = %d, want 20", consumed)
+	}
+}
+
+func TestDeadlockDetectedWhenAllBlocked(t *testing.T) {
+	e := newEnv(t, 1)
+	var s Sema // never V'd
+	err := run(t, e, func(g *GThread) {
+		g.pkg.Create(func(w *GThread) { s.P(w) })
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+// TestBlockingReadStallsWholeApplication demonstrates the library's
+// fundamental limitation the paper describes: one green thread's
+// blocking system call blocks every green thread, because there is
+// only one kernel-supported LWP.
+func TestBlockingReadStallsWholeApplication(t *testing.T) {
+	e := newEnv(t, 2)
+	var rfd, wfd int
+	var otherProgress atomic.Int64
+
+	// A second kernel-level process writes into the pipe after a
+	// delay, releasing the stalled library.
+	setup := make(chan struct{})
+	go func() {
+		l, _ := e.k.NewLWP(e.p, sim.ClassTS, 30)
+		defer func() { recover(); e.k.ExitLWP(l) }()
+		e.k.Start(l)
+		var err error
+		rfd, wfd, err = e.pf.Pipe(l)
+		if err != nil {
+			t.Error(err)
+		}
+		close(setup)
+		e.k.SleepFor(l, 20*time.Millisecond)
+		e.pf.Write(l, wfd, []byte("late data"))
+	}()
+	<-setup
+
+	err := run(t, e, func(g *GThread) {
+		g.pkg.Create(func(w *GThread) {
+			// This green thread would make progress if it could.
+			for i := 0; i < 1000; i++ {
+				otherProgress.Add(1)
+				w.Yield()
+			}
+		})
+		b := make([]byte, 16)
+		if _, err := g.Read(rfd, b); err != nil {
+			t.Error(err)
+		}
+		// While we were blocked, the other green thread must have
+		// been starved: it runs before (a few yields) and after,
+		// but cannot have finished its 1000 rounds during a read
+		// that completed only when data arrived.
+		if otherProgress.Load() >= 1000 {
+			t.Error("other green thread finished during blocking read; whole-process stall not reproduced")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNBReadLetsOthersRun shows the non-blocking I/O shim mitigation.
+func TestNBReadLetsOthersRun(t *testing.T) {
+	e := newEnv(t, 2)
+	var rfd, wfd int
+	var otherProgress atomic.Int64
+	setup := make(chan struct{})
+	go func() {
+		l, _ := e.k.NewLWP(e.p, sim.ClassTS, 30)
+		defer func() { recover(); e.k.ExitLWP(l) }()
+		e.k.Start(l)
+		rfd, wfd, _ = e.pf.Pipe(l)
+		close(setup)
+		e.k.SleepFor(l, 20*time.Millisecond)
+		e.pf.Write(l, wfd, []byte("late data"))
+	}()
+	<-setup
+
+	err := run(t, e, func(g *GThread) {
+		g.pkg.Create(func(w *GThread) {
+			for i := 0; i < 200; i++ {
+				otherProgress.Add(1)
+				w.Yield()
+			}
+		})
+		b := make([]byte, 16)
+		if _, err := g.NBRead(rfd, b); err != nil {
+			t.Error(err)
+		}
+		if otherProgress.Load() == 0 {
+			t.Error("other green thread made no progress during NBRead")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

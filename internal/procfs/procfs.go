@@ -1,0 +1,135 @@
+// Package procfs reproduces the paper's /proc extension [Faulkner
+// 1991]: the process file system reflects the multi-threaded process
+// model. A kernel interface can expose only kernel-supported threads
+// of control — LWPs — so /proc publishes per-process and per-LWP
+// status nodes; debugger control of library threads is accomplished
+// by cooperation between the debugger and the threads library, for
+// which the library registers a thread lister here.
+//
+// Layout (all nodes are synthetic, generated at open time):
+//
+//	/proc/<pid>/status        process summary
+//	/proc/<pid>/lwps          one line per LWP
+//	/proc/<pid>/threads       one line per library thread (via the
+//	                          registered lister; absent without one)
+//
+// Mount attaches the tree; Refresh regenerates the directory for the
+// current process table (the tree is a snapshot, like reading /proc
+// with ls).
+package procfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/sim"
+	"sunosmt/internal/vfs"
+)
+
+// ProcFS serves /proc for one kernel.
+type ProcFS struct {
+	kern *sim.Kernel
+	fs   *vfs.FS
+
+	mu      sync.Mutex
+	listers map[sim.PID]*core.Runtime
+}
+
+// Mount creates /proc in fs and returns the server. Call Refresh to
+// (re)populate it.
+func Mount(kern *sim.Kernel, fs *vfs.FS) (*ProcFS, error) {
+	pfs := &ProcFS{kern: kern, fs: fs, listers: make(map[sim.PID]*core.Runtime)}
+	if err := fs.Mkdir("/", "/proc"); err != nil {
+		return nil, err
+	}
+	return pfs, nil
+}
+
+// RegisterRuntime registers the threads library instance of a process
+// so debuggers can enumerate its user-level threads — the
+// library/debugger cooperation of the paper.
+func (pfs *ProcFS) RegisterRuntime(rt *core.Runtime) {
+	pfs.mu.Lock()
+	pfs.listers[rt.Process().PID()] = rt
+	pfs.mu.Unlock()
+}
+
+// Refresh rebuilds the /proc tree to match the current process table.
+func (pfs *ProcFS) Refresh() error {
+	root := vfs.NewDir()
+	for _, p := range pfs.kern.Processes() {
+		p := p
+		dir := vfs.NewDir()
+		pfs.attach(dir, "status", func() []byte { return pfs.procStatus(p) })
+		pfs.attach(dir, "lwps", func() []byte { return pfs.lwpStatus(p) })
+		pfs.mu.Lock()
+		rt := pfs.listers[p.PID()]
+		pfs.mu.Unlock()
+		if rt != nil {
+			pfs.attach(dir, "threads", func() []byte { return pfs.threadStatus(rt) })
+		}
+		pfs.attachDir(root, fmt.Sprintf("%d", p.PID()), dir)
+	}
+	return pfs.fs.Attach("/", "/proc", root)
+}
+
+func (pfs *ProcFS) attach(d *vfs.Dir, name string, gen func() []byte) {
+	pfs.attachNode(d, name, &vfs.SynthFile{Gen: gen})
+}
+
+func (pfs *ProcFS) attachDir(d *vfs.Dir, name string, child *vfs.Dir) {
+	pfs.attachNode(d, name, child)
+}
+
+func (pfs *ProcFS) attachNode(d *vfs.Dir, name string, n vfs.Node) {
+	// Dir children maps are unexported; go through a tiny scratch
+	// FS bound to d as root.
+	scratch := vfs.WrapDir(pfs.kern, d)
+	scratch.Attach("/", "/"+name, n)
+}
+
+func (pfs *ProcFS) procStatus(p *sim.Process) []byte {
+	r := p.Getrusage()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pid:\t%d\n", p.PID())
+	fmt.Fprintf(&sb, "comm:\t%s\n", p.Name())
+	if pp := p.Parent(); pp != nil {
+		fmt.Fprintf(&sb, "ppid:\t%d\n", pp.PID())
+	} else {
+		fmt.Fprintf(&sb, "ppid:\t0\n")
+	}
+	fmt.Fprintf(&sb, "state:\t%v\n", p.State())
+	fmt.Fprintf(&sb, "nlwp:\t%d\n", r.LiveLWPs)
+	fmt.Fprintf(&sb, "utime:\t%v\n", r.UserTime)
+	fmt.Fprintf(&sb, "stime:\t%v\n", r.SysTime)
+	fmt.Fprintf(&sb, "minflt:\t%d\n", r.MinorFaults)
+	fmt.Fprintf(&sb, "majflt:\t%d\n", r.MajorFaults)
+	return []byte(sb.String())
+}
+
+func (pfs *ProcFS) lwpStatus(p *sim.Process) []byte {
+	lwps := p.LWPs()
+	sort.Slice(lwps, func(i, j int) bool { return lwps[i].ID() < lwps[j].ID() })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-10s %-10s\n", "LWPID", "STATE", "CLASS", "UTIME", "STIME")
+	for _, l := range lwps {
+		u, s := l.Usage()
+		fmt.Fprintf(&sb, "%-6d %-10v %-6v %-10v %-10v\n", l.ID(), l.State(), l.Class(), u, s)
+	}
+	return []byte(sb.String())
+}
+
+func (pfs *ProcFS) threadStatus(rt *core.Runtime) []byte {
+	threads := rt.Threads()
+	sort.Slice(threads, func(i, j int) bool { return threads[i].ID() < threads[j].ID() })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-6s\n", "TID", "STATE", "PRIO", "BOUND")
+	for _, t := range threads {
+		fmt.Fprintf(&sb, "%-6d %-10v %-6d %-6v\n", t.ID(), t.State(), t.Priority(), t.Bound())
+	}
+	fmt.Fprintf(&sb, "pool-lwps: %d  runnable: %d\n", rt.PoolSize(), rt.RunnableThreads())
+	return []byte(sb.String())
+}

@@ -1,0 +1,142 @@
+package procfs
+
+import (
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/sim"
+	"sunosmt/internal/vfs"
+)
+
+func readAll(t *testing.T, k *sim.Kernel, pf *vfs.ProcFiles, l *sim.LWP, path string) string {
+	t.Helper()
+	fd, err := pf.Open(l, path, vfs.ORdOnly)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	defer pf.Close(fd)
+	var out []byte
+	b := make([]byte, 256)
+	for {
+		n, err := pf.Read(l, fd, b)
+		out = append(out, b[:n]...)
+		if err == io.EOF {
+			return string(out)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProcStatusAndThreads(t *testing.T) {
+	k := sim.NewKernel(sim.Config{NCPU: 2})
+	fs := vfs.NewFS(k)
+	pfs, err := Mount(k, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A multi-threaded target process.
+	target := k.NewProcess("victim", nil)
+	rt := core.NewRuntime(k, target, core.Config{})
+	pfs.RegisterRuntime(rt)
+	var released atomic.Bool
+	if _, err := rt.Start(func(self *core.Thread, _ any) {
+		for i := 0; i < 3; i++ {
+			rt.Create(func(c *core.Thread, _ any) {
+				c.Park() // parked worker, visible in /proc
+			}, nil, core.CreateOpts{Flags: core.ThreadDaemon})
+		}
+		for !released.Load() {
+			self.Yield() // let the workers run and park
+			time.Sleep(100 * time.Microsecond)
+		}
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Let the workers park.
+	for rt.RunnableThreads() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := pfs.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An observer process (the debugger) reads /proc.
+	obs := k.NewProcess("mdb", nil)
+	opf := vfs.NewProcFiles(fs, obs)
+	l, _ := k.NewLWP(obs, sim.ClassTS, 30)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover(); k.ExitLWP(l) }()
+		k.Start(l)
+		pid := target.PID()
+		status := readAll(t, k, opf, l, "/proc/"+itoa(int(pid))+"/status")
+		if !strings.Contains(status, "comm:\tvictim") {
+			t.Errorf("status missing comm:\n%s", status)
+		}
+		if !strings.Contains(status, "state:\trunning") {
+			t.Errorf("status missing state:\n%s", status)
+		}
+		lwps := readAll(t, k, opf, l, "/proc/"+itoa(int(pid))+"/lwps")
+		if !strings.Contains(lwps, "LWPID") {
+			t.Errorf("lwps header missing:\n%s", lwps)
+		}
+		threads := readAll(t, k, opf, l, "/proc/"+itoa(int(pid))+"/threads")
+		if strings.Count(threads, "sleeping") < 3 {
+			t.Errorf("expected 3 parked threads:\n%s", threads)
+		}
+		if !strings.Contains(threads, "pool-lwps:") {
+			t.Errorf("threads footer missing:\n%s", threads)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("observer timed out")
+	}
+	released.Store(true)
+	select {
+	case <-rt.Exited():
+	case <-time.After(10 * time.Second):
+		t.Fatal("target did not exit")
+	}
+}
+
+func TestRefreshDropsDeadProcesses(t *testing.T) {
+	k := sim.NewKernel(sim.Config{NCPU: 1})
+	fs := vfs.NewFS(k)
+	pfs, _ := Mount(k, fs)
+	p := k.NewProcess("ephemeral", nil)
+	rt := core.NewRuntime(k, p, core.Config{})
+	rt.Start(func(*core.Thread, any) {}, nil)
+	<-rt.Exited()
+	pfs.Refresh()
+	names, err := fs.ReadDir("/", "/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if n == itoa(int(p.PID())) {
+			t.Fatalf("dead process still listed: %v", names)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

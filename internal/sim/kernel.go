@@ -1,0 +1,615 @@
+// Package sim is the simulated SunOS 5 kernel substrate underneath
+// the threads library.
+//
+// The paper's threads are multiplexed by a user-level library onto
+// kernel-supported LWPs, which the kernel dispatches onto CPUs. Go
+// gives us no real kernel to extend, so this package *is* that
+// kernel: it owns a fixed set of simulated CPUs and dispatches LWPs
+// onto them by scheduling class and priority; it provides kernel
+// sleep queues, signals (traps and interrupts, per-LWP masks, default
+// actions, SIGWAITING), per-LWP interval timers and profiling,
+// resource usage and limits, and fork/fork1/exec/exit/wait.
+//
+// # Animation model
+//
+// An LWP is a kernel data structure, not a goroutine. Whichever
+// goroutine currently animates an LWP (the threads library's
+// dispatcher between threads; a thread goroutine while the thread
+// runs and during its system calls) drives the LWP through this
+// package's methods. The rule enforced throughout: an animator may
+// execute "user code" only while its LWP holds a CPU grant, and every
+// blocking kernel service releases the CPU for the duration of the
+// block. This reproduces the paper's contract — at most NCPU LWPs
+// make progress at once, each LWP blocks in the kernel independently
+// — without fighting the Go runtime for real context switching.
+//
+// # Locking
+//
+// A single kernel lock (Kernel.mu) guards all scheduling, signal and
+// process state, exactly like a giant kernel lock. Methods with the
+// Locked suffix require it. The kernel never calls user code with mu
+// held; hooks run on fresh goroutines.
+//
+// # Unwinding
+//
+// Involuntary process termination (kill -9, default signal actions,
+// Exit from another LWP, exec) cannot asynchronously stop a running
+// goroutine, so the kernel panics with *Unwind at the next kernel
+// entry of each affected LWP. The threads library recovers the panic
+// and retires the LWP. This is the cooperative analogue of the kernel
+// yanking an LWP out of the trap handler.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sunosmt/internal/ktime"
+	"sunosmt/internal/trace"
+)
+
+// Config configures a Kernel.
+type Config struct {
+	// NCPU is the number of simulated processors (default 1).
+	NCPU int
+	// Clock supplies time; default is a shared real clock.
+	Clock ktime.Clock
+	// TimeSlice is the timeshare scheduling quantum checked at
+	// preemption points; 0 disables time slicing.
+	TimeSlice time.Duration
+	// Trace, if non-nil, receives kernel events.
+	Trace *trace.Buffer
+	// SignalOnAnyBlock makes the kernel treat every kernel sleep as
+	// an indefinite wait for SIGWAITING purposes. This is the
+	// "send signals on faster events" experiment the paper proposes
+	// as future work (and the scheduler-activations comparison):
+	// the library learns about every blocking, not only indefinite
+	// waits.
+	SignalOnAnyBlock bool
+	// LWPCreateCost models the kernel path length of creating an
+	// LWP (kernel stack allocation, scheduler registration) that a
+	// goroutine spawn does not capture; the creator busy-waits this
+	// long inside the NewLWP call. Negative disables; zero selects
+	// the default (20us), calibrated so the bound/unbound creation
+	// ratio of the paper's Figure 5 is reproduced in shape.
+	LWPCreateCost time.Duration
+	// KernelSwitchCost models the trap entry plus LWP context
+	// switch a kernel block performs, which a Go channel/cond wake
+	// does not capture; the blocking LWP busy-waits this long on
+	// entry to Sleep and Park. Negative disables; zero selects the
+	// default (1.5us), calibrated so bound-thread synchronization
+	// costs a multiple of user-level unbound synchronization, as in
+	// the paper's Figure 6.
+	KernelSwitchCost time.Duration
+}
+
+// Default simulated kernel path lengths (see Config).
+const (
+	defaultLWPCreateCost    = 20 * time.Microsecond
+	defaultKernelSwitchCost = 1500 * time.Nanosecond
+)
+
+// spinFor models a fixed kernel path length by burning host CPU.
+func spinFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for start := time.Now(); time.Since(start) < d; {
+	}
+}
+
+// Kernel is the simulated kernel.
+type Kernel struct {
+	mu    sync.Mutex
+	cfg   Config
+	clock ktime.Clock
+	tr    *trace.Buffer
+
+	cpus     []*CPU
+	runnable []*LWP
+	procs    map[PID]*Process
+	nextPID  PID
+
+	// forkHooks run (in registration order, with mu released) when
+	// a process is duplicated; layers above the kernel use them to
+	// copy fd tables and address spaces.
+	forkHooks []func(parent, child *Process)
+	// execHooks run when a process execs.
+	execHooks []func(p *Process)
+}
+
+// Unwind is the panic value used to tear an animator out of a dead or
+// exec-ing process. The threads library recovers it and calls ExitLWP.
+type Unwind struct {
+	Proc   *Process
+	Reason string
+}
+
+// Error implements error so an un-recovered Unwind reads well.
+func (u *Unwind) Error() string {
+	return fmt.Sprintf("sim: unwind of process %d: %s", u.Proc.pid, u.Reason)
+}
+
+// IsUnwind reports whether a recovered panic value is a kernel unwind.
+func IsUnwind(r any) bool {
+	_, ok := r.(*Unwind)
+	return ok
+}
+
+// NewKernel boots a kernel with the given configuration.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.NCPU <= 0 {
+		cfg.NCPU = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = ktime.NewReal()
+	}
+	switch {
+	case cfg.LWPCreateCost < 0:
+		cfg.LWPCreateCost = 0
+	case cfg.LWPCreateCost == 0:
+		cfg.LWPCreateCost = defaultLWPCreateCost
+	}
+	switch {
+	case cfg.KernelSwitchCost < 0:
+		cfg.KernelSwitchCost = 0
+	case cfg.KernelSwitchCost == 0:
+		cfg.KernelSwitchCost = defaultKernelSwitchCost
+	}
+	k := &Kernel{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		tr:    cfg.Trace,
+		procs: make(map[PID]*Process),
+	}
+	for i := 0; i < cfg.NCPU; i++ {
+		k.cpus = append(k.cpus, &CPU{id: i})
+	}
+	return k
+}
+
+// Clock returns the kernel's clock.
+func (k *Kernel) Clock() ktime.Clock { return k.clock }
+
+// NCPU returns the number of simulated CPUs.
+func (k *Kernel) NCPU() int { return len(k.cpus) }
+
+// Trace returns the kernel trace buffer (may be nil).
+func (k *Kernel) Trace() *trace.Buffer { return k.tr }
+
+// AddForkHook registers fn to run whenever a process forks. Hooks run
+// after the kernel-side duplication, without kernel locks held.
+func (k *Kernel) AddForkHook(fn func(parent, child *Process)) {
+	k.mu.Lock()
+	k.forkHooks = append(k.forkHooks, fn)
+	k.mu.Unlock()
+}
+
+// AddExecHook registers fn to run whenever a process execs (after the
+// kernel has torn down the old LWPs).
+func (k *Kernel) AddExecHook(fn func(p *Process)) {
+	k.mu.Lock()
+	k.execHooks = append(k.execHooks, fn)
+	k.mu.Unlock()
+}
+
+// NewProcess creates a process with no LWPs. parent may be nil for
+// the initial process.
+func (k *Kernel) NewProcess(name string, parent *Process) *Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.newProcessLocked(name, parent)
+}
+
+func (k *Kernel) newProcessLocked(name string, parent *Process) *Process {
+	k.nextPID++
+	p := &Process{
+		pid:      k.nextPID,
+		name:     name,
+		kern:     k,
+		parent:   parent,
+		lwps:     make(map[LWPID]*LWP),
+		children: make(map[PID]*Process),
+		cwd:      "/",
+		cpuLimit: Rlimit{Soft: RlimitInfinity, Hard: RlimitInfinity},
+		exitedCh: make(chan struct{}),
+	}
+	p.waitq.name = fmt.Sprintf("wait:%d", p.pid)
+	if parent != nil {
+		p.cwd = parent.cwd
+		p.creds = parent.creds
+		p.actions = parent.actions
+		p.cpuLimit = parent.cpuLimit
+		parent.children[p.pid] = p
+	}
+	k.procs[p.pid] = p
+	k.tr.Add("proc", "created pid %d (%s)", p.pid, name)
+	return p
+}
+
+// Processes returns a snapshot of all non-reaped processes.
+func (k *Kernel) Processes() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// FindProcess returns the process with the given pid, if present.
+func (k *Kernel) FindProcess(pid PID) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// NewLWP creates an LWP in the process. The LWP does not run until a
+// goroutine animates it by calling Start. Creating an LWP is the
+// expensive kernel operation that makes bound-thread creation ~40x
+// slower than unbound creation in the paper's Figure 5; the kernel
+// charges syscall time to the caller (curLWP, may be nil during
+// process setup).
+func (k *Kernel) NewLWP(p *Process, class Class, prio int) (*LWP, error) {
+	spinFor(k.cfg.LWPCreateCost) // simulated kernel path length
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if p.dying || p.state == ProcZombie || p.state == ProcDead {
+		return nil, fmt.Errorf("sim: process %d is exiting", p.pid)
+	}
+	return k.newLWPLocked(p, class, prio), nil
+}
+
+func (k *Kernel) newLWPLocked(p *Process, class Class, prio int) *LWP {
+	p.nextLWP++
+	l := &LWP{
+		id:        p.nextLWP,
+		proc:      p,
+		state:     LWPEmbryo,
+		class:     class,
+		userPrio:  prio,
+		lastDecay: k.clock.Now(),
+		exited:    make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&k.mu)
+	p.lwps[l.id] = l
+	p.liveLWPs++
+	// A fresh LWP can run threads, so the all-blocked condition no
+	// longer holds.
+	p.sigwaitingOn = false
+	k.tr.Add("lwp", "pid %d: created lwp %d class %s", p.pid, l.id, class)
+	return l
+}
+
+// Start attaches the calling goroutine to the LWP as its animator and
+// blocks until the kernel dispatches the LWP onto a CPU. It must be
+// called exactly once per LWP, before any other kernel service.
+func (k *Kernel) Start(l *LWP) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l.state != LWPEmbryo {
+		panic(fmt.Sprintf("sim: Start on lwp %d in state %s", l.id, l.state))
+	}
+	k.makeRunnableLocked(l)
+	k.waitOnCPULocked(l)
+}
+
+// --- dispatch ----------------------------------------------------------
+
+func (k *Kernel) makeRunnableLocked(l *LWP) {
+	l.state = LWPRunnable
+	k.runnable = append(k.runnable, l)
+	k.scheduleLocked()
+}
+
+// scheduleLocked assigns runnable LWPs to free CPUs, highest global
+// priority first, honouring CPU bindings and preferring to
+// co-schedule members of gangs that are already on CPU.
+func (k *Kernel) scheduleLocked() {
+	for {
+		progress := false
+		for _, c := range k.cpus {
+			if c.lwp != nil {
+				continue
+			}
+			l := k.pickForLocked(c)
+			if l == nil {
+				continue
+			}
+			k.assignLocked(l, c)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	k.preemptCheckLocked()
+}
+
+// gangBonus is added to the effective dispatch priority of a runnable
+// gang member whose gang already has a member on CPU; the boosted
+// priority is capped at the top of the SYS band, so co-scheduling
+// beats any timeshare LWP but never a real-time one.
+const gangBonus = 60
+
+func (k *Kernel) onCPUGangsLocked() map[int]bool {
+	var gangs map[int]bool
+	for _, c := range k.cpus {
+		if c.lwp != nil && c.lwp.gang != 0 {
+			if gangs == nil {
+				gangs = make(map[int]bool)
+			}
+			gangs[c.lwp.gang] = true
+		}
+	}
+	return gangs
+}
+
+func (k *Kernel) pickForLocked(c *CPU) *LWP {
+	gangs := k.onCPUGangsLocked()
+	best := -1
+	bestPrio := -1
+	for i, l := range k.runnable {
+		if l.boundCPU != nil && l.boundCPU != c {
+			continue
+		}
+		prio := l.globalPrio()
+		if l.gang != 0 && gangs[l.gang] {
+			prio += gangBonus
+			if prio > sysMaxGlobal {
+				prio = sysMaxGlobal
+			}
+		}
+		if prio > bestPrio {
+			bestPrio = prio
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	l := k.runnable[best]
+	k.runnable = append(k.runnable[:best], k.runnable[best+1:]...)
+	return l
+}
+
+func (k *Kernel) assignLocked(l *LWP, c *CPU) {
+	now := k.clock.Now()
+	l.state = LWPOnCPU
+	l.cpu = c
+	c.lwp = l
+	l.preempt = false
+	l.onCPUSince = now
+	l.chargeMark = now
+	k.tr.Add("disp", "cpu %d runs pid %d lwp %d (prio %d)", c.id, l.proc.pid, l.id, l.globalPrio())
+	l.cond.Broadcast()
+}
+
+// releaseCPULocked takes the CPU away from l and records the new
+// state. The caller is responsible for queueing/wait bookkeeping.
+func (k *Kernel) releaseCPULocked(l *LWP, newState LWPState) {
+	if l.cpu == nil {
+		l.state = newState
+		return
+	}
+	k.chargeLocked(l)
+	c := l.cpu
+	c.lwp = nil
+	l.cpu = nil
+	l.state = newState
+	k.scheduleLocked()
+}
+
+// preemptCheckLocked flags on-CPU LWPs for preemption when a
+// higher-priority LWP is waiting for a CPU. Preemption is cooperative
+// and takes effect at the victim's next checkpoint.
+func (k *Kernel) preemptCheckLocked() {
+	if len(k.runnable) == 0 {
+		return
+	}
+	bestWaiting := -1
+	for _, l := range k.runnable {
+		if p := l.globalPrio(); p > bestWaiting {
+			bestWaiting = p
+		}
+	}
+	for _, c := range k.cpus {
+		if c.lwp != nil && c.lwp.globalPrio() < bestWaiting {
+			c.lwp.preempt = true
+		}
+	}
+}
+
+// mustUnwindLocked reports whether the LWP must abandon its current
+// kernel wait and unwind (process death, or exec tearing down all
+// LWPs but the survivor).
+func (k *Kernel) mustUnwindLocked(l *LWP) (string, bool) {
+	if l.proc.dying {
+		return "process dying", true
+	}
+	if l.proc.execing && l != l.proc.execSurvivor {
+		return "exec", true
+	}
+	return "", false
+}
+
+// waitOnCPULocked blocks until l is dispatched onto a CPU. It panics
+// with *Unwind if the process dies (or execs away) while waiting.
+func (k *Kernel) waitOnCPULocked(l *LWP) {
+	for l.state != LWPOnCPU {
+		if reason, bad := k.mustUnwindLocked(l); bad {
+			k.unwindLocked(l, reason)
+		}
+		l.cond.Wait()
+	}
+}
+
+func (k *Kernel) unwindLocked(l *LWP, reason string) {
+	// Leave cleanup to ExitLWP, which the recovering animator must
+	// call; just make sure we are not on a run queue so the
+	// dispatcher cannot hand us a CPU mid-unwind.
+	k.removeRunnableLocked(l)
+	panic(&Unwind{Proc: l.proc, Reason: reason})
+}
+
+func (k *Kernel) removeRunnableLocked(l *LWP) {
+	for i, r := range k.runnable {
+		if r == l {
+			k.runnable = append(k.runnable[:i], k.runnable[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- time accounting ---------------------------------------------------
+
+// chargeLocked attributes CPU time since the last charge mark to the
+// LWP (user or system depending on the in-syscall flag), feeds the
+// profiling buffer and interval timers, and enforces the CPU rlimit.
+func (k *Kernel) chargeLocked(l *LWP) {
+	now := k.clock.Now()
+	d := now - l.chargeMark
+	l.chargeMark = now
+	if d <= 0 {
+		return
+	}
+	p := l.proc
+	if l.inSyscall {
+		l.sysTime += d
+	} else {
+		l.userTime += d
+		l.prof.charge(l.profLabel, d)
+		if l.vtimer != nil {
+			l.vtimer.decrement(k, l, d)
+		}
+	}
+	if l.ptimer != nil {
+		l.ptimer.decrement(k, l, d)
+	}
+	if l.class == ClassTS || l.class == ClassGang {
+		l.chargeAndDecay(d, now)
+	}
+	if p.cpuLimit.Soft != RlimitInfinity && !p.xcpuSent {
+		r := p.rusageLocked()
+		if r.UserTime+r.SysTime > p.cpuLimit.Soft {
+			p.xcpuSent = true
+			k.postSignalLocked(p, SIGXCPU, l)
+		}
+	}
+}
+
+// Checkpoint is a cooperative preemption point. Animators call it at
+// synchronization operations, system-call boundaries and voluntary
+// yields. It handles process death and exec unwinding, process stop,
+// priority preemption and time-slice expiry. It reports whether a
+// signal is now deliverable to this LWP, in which case the caller
+// should invoke TakeSignal.
+func (k *Kernel) Checkpoint(l *LWP) (signalPending bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.checkpointLocked(l)
+	return k.deliverableLocked(l) != 0
+}
+
+func (k *Kernel) checkpointLocked(l *LWP) {
+	p := l.proc
+	if p.dying {
+		k.unwindLocked(l, "process dying")
+	}
+	if p.execing && l != p.execSurvivor {
+		k.unwindLocked(l, "exec")
+	}
+	if l.state == LWPOnCPU {
+		// Checkpoints are the cooperative analogue of clock
+		// ticks: attribute CPU time, drive virtual interval
+		// timers, and enforce the CPU rlimit.
+		k.chargeLocked(l)
+	}
+	for p.state == ProcStopped {
+		k.tr.Add("proc", "pid %d lwp %d stops", p.pid, l.id)
+		k.releaseCPULocked(l, LWPStopped)
+		for p.state == ProcStopped && !p.dying {
+			l.cond.Wait()
+		}
+		if p.dying {
+			k.unwindLocked(l, "process dying")
+		}
+		k.makeRunnableLocked(l)
+		k.waitOnCPULocked(l)
+	}
+	slice := k.cfg.TimeSlice
+	expired := slice > 0 && k.clock.Now()-l.onCPUSince >= slice && len(k.runnable) > 0
+	if l.preempt || expired {
+		k.chargeLocked(l)
+		k.releaseCPULocked(l, LWPRunnable)
+		k.runnable = append(k.runnable, l)
+		k.scheduleLocked()
+		k.waitOnCPULocked(l)
+	}
+}
+
+// Yield voluntarily gives up the CPU, letting the dispatcher pick the
+// highest-priority runnable LWP (possibly this one again).
+func (k *Kernel) Yield(l *LWP) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.checkpointLocked(l)
+	k.chargeLocked(l)
+	k.releaseCPULocked(l, LWPRunnable)
+	k.runnable = append(k.runnable, l)
+	k.scheduleLocked()
+	k.waitOnCPULocked(l)
+}
+
+// ExitLWP retires the LWP. The animating goroutine must not use the
+// LWP afterwards. When the last LWP of a process exits, the process
+// itself is finalized. Safe to call from an Unwind recovery.
+func (k *Kernel) ExitLWP(l *LWP) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l.state == LWPZombie {
+		return
+	}
+	p := l.proc
+	if l.cpu != nil {
+		k.chargeLocked(l)
+		c := l.cpu
+		c.lwp = nil
+		l.cpu = nil
+	}
+	if l.wq != nil {
+		l.wq.remove(l)
+		l.wq = nil
+	}
+	if l.indefinite {
+		p.indefSleepers--
+		l.indefinite = false
+	}
+	if l.state == LWPSigWait {
+		p.sigwaiters--
+	}
+	k.removeRunnableLocked(l)
+	if l.sleepTimer != nil {
+		l.sleepTimer.Stop()
+		l.sleepTimer = nil
+	}
+	l.state = LWPZombie
+	p.deadUser += l.userTime
+	p.deadSys += l.sysTime
+	delete(p.lwps, l.id)
+	p.liveLWPs--
+	close(l.exited)
+	k.tr.Add("lwp", "pid %d lwp %d exits (%d live)", p.pid, l.id, p.liveLWPs)
+	k.scheduleLocked()
+	if p.execing && p.execSurvivor != nil {
+		p.execSurvivor.cond.Broadcast() // exec barrier progress
+	}
+	if p.liveLWPs == 0 && p.state == ProcRunning {
+		k.finalizeProcLocked(p)
+	}
+	// The all-blocked condition may newly hold among remaining LWPs.
+	k.maybeSigwaitingLocked(p)
+}

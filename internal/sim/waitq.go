@@ -1,0 +1,234 @@
+package sim
+
+import "time"
+
+// WaitQ is a kernel sleep queue. LWPs block on wait queues inside
+// system calls (pipe I/O, poll, waitpid, process-shared
+// synchronization variables, bound-thread sleeps). Wakeups are FIFO.
+//
+// The zero value is ready to use. A WaitQ must not be copied after
+// first use.
+type WaitQ struct {
+	name    string
+	waiters []*LWP // guarded by Kernel.mu
+}
+
+// NewWaitQ returns a named wait queue (the name appears in traces and
+// /proc wchan output).
+func NewWaitQ(name string) *WaitQ { return &WaitQ{name: name} }
+
+// Name returns the queue's name.
+func (w *WaitQ) Name() string { return w.name }
+
+func (w *WaitQ) add(l *LWP) { w.waiters = append(w.waiters, l) }
+func (w *WaitQ) remove(l *LWP) {
+	for i, x := range w.waiters {
+		if x == l {
+			w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len reports how many LWPs are blocked on the queue.
+func (w *WaitQ) Len(k *Kernel) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(w.waiters)
+}
+
+// SleepOpts controls a kernel sleep.
+type SleepOpts struct {
+	// Interruptible sleeps are broken by signal delivery; the
+	// sleep returns WakeInterrupted and the system call should
+	// fail with EINTR.
+	Interruptible bool
+	// Indefinite marks the sleep as waiting for an external event
+	// of unbounded latency (e.g. poll). When every live LWP of a
+	// process is in an indefinite wait, the kernel sends the
+	// process SIGWAITING.
+	Indefinite bool
+	// Timeout, if positive, bounds the sleep.
+	Timeout time.Duration
+}
+
+// Sleep blocks the LWP on wq until Wakeup, signal interruption, or
+// timeout. The LWP's CPU is released for the duration; on return the
+// LWP holds a CPU again. Sleep panics with *Unwind if the process
+// dies while sleeping.
+func (k *Kernel) Sleep(l *LWP, wq *WaitQ, o SleepOpts) WakeResult {
+	res, _ := k.SleepIf(l, wq, nil, o)
+	return res
+}
+
+// SleepIf is Sleep with a commit condition evaluated under the kernel
+// lock immediately before the LWP is queued: if cond returns false
+// the sleep is abandoned and SleepIf returns (WakeNormal, false).
+// This is the futex-style race-free block used by process-shared
+// synchronization variables — the waker's state change and Wakeup
+// cannot slip between the caller's user-level check and the enqueue.
+// cond must not call back into the kernel.
+func (k *Kernel) SleepIf(l *LWP, wq *WaitQ, cond func() bool, o SleepOpts) (WakeResult, bool) {
+	spinFor(k.cfg.KernelSwitchCost) // simulated trap entry + switch
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.checkpointLocked(l)
+	if o.Interruptible && k.deliverableLocked(l) != 0 {
+		return WakeInterrupted, false
+	}
+	if cond != nil && !cond() {
+		return WakeNormal, false
+	}
+	p := l.proc
+	k.releaseCPULocked(l, LWPSleeping)
+	l.wq = wq
+	wq.add(l)
+	l.woken = false
+	l.wakeRes = WakeNormal
+	l.interruptible = o.Interruptible
+	indefinite := o.Indefinite || k.cfg.SignalOnAnyBlock
+	if indefinite {
+		l.indefinite = true
+		p.indefSleepers++
+		k.maybeSigwaitingLocked(p)
+	}
+	if o.Timeout > 0 {
+		ll := l
+		l.sleepTimer = k.clock.AfterFunc(o.Timeout, func() {
+			k.mu.Lock()
+			if ll.state == LWPSleeping && !ll.woken {
+				k.wakeLWPLocked(ll, WakeTimeout)
+			}
+			k.mu.Unlock()
+		})
+	}
+	k.tr.Add("sleep", "pid %d lwp %d sleeps on %s", p.pid, l.id, wq.name)
+	for !l.woken {
+		l.cond.Wait()
+		if reason, bad := k.mustUnwindLocked(l); bad {
+			k.unwindLocked(l, reason)
+		}
+	}
+	if l.sleepTimer != nil {
+		l.sleepTimer.Stop()
+		l.sleepTimer = nil
+	}
+	res := l.wakeRes
+	k.makeRunnableLocked(l)
+	k.waitOnCPULocked(l)
+	return res, true
+}
+
+// wakeLWPLocked pulls a sleeping LWP off its wait queue and marks it
+// woken with the given result. The LWP's own goroutine re-enters the
+// run queue when it observes the wake.
+func (k *Kernel) wakeLWPLocked(l *LWP, res WakeResult) {
+	if l.wq != nil {
+		l.wq.remove(l)
+		l.wq = nil
+	}
+	if l.indefinite {
+		l.proc.indefSleepers--
+		l.indefinite = false
+	}
+	l.interruptible = false
+	l.woken = true
+	l.wakeRes = res
+	// The process is no longer all-blocked.
+	l.proc.sigwaitingOn = false
+	l.cond.Broadcast()
+}
+
+// Wakeup wakes up to n LWPs blocked on wq (FIFO order) and returns
+// how many were woken. n < 0 wakes all.
+func (k *Kernel) Wakeup(wq *WaitQ, n int) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.wakeupLocked(wq, n)
+}
+
+func (k *Kernel) wakeupLocked(wq *WaitQ, n int) int {
+	if n < 0 {
+		n = len(wq.waiters)
+	}
+	count := 0
+	for count < n && len(wq.waiters) > 0 {
+		l := wq.waiters[0]
+		k.wakeLWPLocked(l, WakeNormal)
+		count++
+	}
+	if count > 0 {
+		k.tr.Add("sleep", "wakeup %d on %s", count, wq.name)
+	}
+	return count
+}
+
+// Park idles the LWP until Unpark. The threads library parks pool
+// LWPs that have no thread to run (SunOS's lwp_park). A prior Unpark
+// leaves a permit that makes the next Park return immediately, so the
+// park/unpark pair is race-free.
+func (k *Kernel) Park(l *LWP) {
+	spinFor(k.cfg.KernelSwitchCost) // simulated trap entry + switch
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.checkpointLocked(l)
+	if l.parkPermit {
+		l.parkPermit = false
+		return
+	}
+	p := l.proc
+	k.releaseCPULocked(l, LWPParked)
+	l.woken = false
+	k.tr.Add("park", "pid %d lwp %d parks", p.pid, l.id)
+	for !l.woken {
+		l.cond.Wait()
+		if reason, bad := k.mustUnwindLocked(l); bad {
+			k.unwindLocked(l, reason)
+		}
+	}
+	k.makeRunnableLocked(l)
+	k.waitOnCPULocked(l)
+}
+
+// Unpark releases a parked LWP, or leaves a permit if the LWP is not
+// currently parked.
+func (k *Kernel) Unpark(l *LWP) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l.state == LWPParked && !l.woken {
+		l.woken = true
+		l.cond.Broadcast()
+		return
+	}
+	l.parkPermit = true
+}
+
+// SyscallEnter marks the LWP as executing inside the kernel. The
+// thread stays bound to its LWP for the duration of the call (paper:
+// "When a thread executes a kernel call, it remains bound to the same
+// lightweight process for the duration of the kernel call").
+func (k *Kernel) SyscallEnter(l *LWP) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.checkpointLocked(l)
+	k.chargeLocked(l) // close out user time
+	l.inSyscall = true
+	l.syscallStart = k.clock.Now()
+}
+
+// SyscallExit marks the LWP as back in user mode.
+func (k *Kernel) SyscallExit(l *LWP) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.chargeLocked(l) // close out system time
+	l.inSyscall = false
+	k.checkpointLocked(l)
+}
+
+// InSyscall reports whether the LWP is currently inside a kernel call.
+func (l *LWP) InSyscall() bool {
+	k := l.proc.kern
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return l.inSyscall
+}

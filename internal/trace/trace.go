@@ -1,0 +1,120 @@
+// Package trace is a bounded, concurrency-safe event recorder used by
+// the simulated kernel, the threads library, tests, and the demo
+// binaries (cmd/mtdemo reproduces the paper's Figure 2 dispatch cycle
+// by printing a trace captured with this package).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq  uint64
+	When time.Duration
+	Kind string
+	Msg  string
+}
+
+// String renders the event as a single line.
+func (e Event) String() string {
+	return fmt.Sprintf("%8d %12s %-14s %s", e.Seq, e.When, e.Kind, e.Msg)
+}
+
+// Buffer is a fixed-capacity ring of events. The zero value is not
+// usable; call New. A nil *Buffer is valid and discards all events, so
+// components can take an optional tracer without nil checks at every
+// call site.
+type Buffer struct {
+	mu   sync.Mutex
+	seq  uint64
+	evs  []Event
+	next int
+	full bool
+	now  func() time.Duration
+}
+
+// New returns a Buffer that keeps the most recent capacity events.
+// now supplies timestamps; pass nil to record zero times.
+func New(capacity int, now func() time.Duration) *Buffer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Buffer{evs: make([]Event, capacity), now: now}
+}
+
+// Add records an event. It is safe for concurrent use and never
+// blocks. Add on a nil buffer is a no-op.
+func (b *Buffer) Add(kind, format string, args ...any) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	b.evs[b.next] = Event{Seq: b.seq, When: b.now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	b.next++
+	if b.next == len(b.evs) {
+		b.next = 0
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Event
+	if b.full {
+		out = append(out, b.evs[b.next:]...)
+	}
+	out = append(out, b.evs[:b.next]...)
+	return out
+}
+
+// Kinds returns the events whose Kind is in kinds, oldest first.
+func (b *Buffer) Kinds(kinds ...string) []Event {
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range b.Events() {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders all events, one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, e := range b.Events() {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Len reports how many events are currently retained.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.evs)
+	}
+	return b.next
+}

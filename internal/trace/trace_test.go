@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilBufferIsSafe(t *testing.T) {
+	var b *Buffer
+	b.Add("x", "ignored")
+	if b.Events() != nil {
+		t.Fatal("nil buffer returned events")
+	}
+	if b.Len() != 0 {
+		t.Fatal("nil buffer Len != 0")
+	}
+}
+
+func TestAddAndEvents(t *testing.T) {
+	b := New(8, nil)
+	b.Add("disp", "lwp %d runs thread %d", 1, 42)
+	b.Add("sync", "mutex acquired")
+	evs := b.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len(Events) = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != "disp" || !strings.Contains(evs[0].Msg, "thread 42") {
+		t.Fatalf("bad first event: %+v", evs[0])
+	}
+	if evs[0].Seq >= evs[1].Seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	b := New(4, nil)
+	for i := 0; i < 10; i++ {
+		b.Add("k", "event %d", i)
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	if !strings.Contains(evs[0].Msg, "event 6") || !strings.Contains(evs[3].Msg, "event 9") {
+		t.Fatalf("ring kept wrong window: %v", evs)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", b.Len())
+	}
+}
+
+func TestKindsFilter(t *testing.T) {
+	b := New(16, nil)
+	b.Add("a", "1")
+	b.Add("b", "2")
+	b.Add("a", "3")
+	got := b.Kinds("a")
+	if len(got) != 2 || got[0].Msg != "1" || got[1].Msg != "3" {
+		t.Fatalf("Kinds(a) = %v", got)
+	}
+}
+
+func TestTimestampsUseNowFunc(t *testing.T) {
+	var now time.Duration
+	b := New(4, func() time.Duration { return now })
+	b.Add("k", "first")
+	now = 5 * time.Second
+	b.Add("k", "second")
+	evs := b.Events()
+	if evs[0].When != 0 || evs[1].When != 5*time.Second {
+		t.Fatalf("timestamps = %v, %v", evs[0].When, evs[1].When)
+	}
+}
+
+func TestDumpContainsAllLines(t *testing.T) {
+	b := New(8, nil)
+	b.Add("k", "alpha")
+	b.Add("k", "beta")
+	d := b.Dump()
+	if !strings.Contains(d, "alpha") || !strings.Contains(d, "beta") {
+		t.Fatalf("Dump missing lines:\n%s", d)
+	}
+	if strings.Count(d, "\n") != 2 {
+		t.Fatalf("Dump line count wrong:\n%s", d)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	b := New(1024, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				b.Add("k", "msg")
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Len() != 1024 {
+		t.Fatalf("Len = %d, want 1024", b.Len())
+	}
+	// All sequence numbers distinct.
+	seen := map[uint64]bool{}
+	for _, e := range b.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(0, nil)
+	for i := 0; i < 2000; i++ {
+		b.Add("k", "x")
+	}
+	if b.Len() != 1024 {
+		t.Fatalf("default capacity Len = %d, want 1024", b.Len())
+	}
+}

@@ -1,0 +1,189 @@
+package tsync
+
+import (
+	"sync"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/usync"
+)
+
+// Mutex is the paper's mutual exclusion lock: low overhead in space
+// and time, suitable for high-frequency usage, strictly bracketing.
+// The zero value is an unlocked mutex of the default variant.
+type Mutex struct {
+	mu      sync.Mutex // word lock; models the atomic instructions
+	held    bool
+	owner   *core.Thread // error-checking variant only
+	variant Variant
+	waiters waitq
+
+	// sv, when non-nil, makes this a process-shared mutex whose
+	// state lives in mapped memory at the variable's offset:
+	// word 0 = lock state, word 1 = waiter count.
+	sv *usync.Var
+}
+
+// MutexShmSize is the number of bytes a process-shared mutex occupies
+// in mapped memory.
+const MutexShmSize = 16
+
+// Init selects the implementation variant (mutex_init). Calling Init
+// on a held mutex is a programming error the library does not check
+// for, as in the original.
+func (mp *Mutex) Init(v Variant) { mp.variant = v }
+
+// InitShared binds the mutex to shared state at (obj, off) resolved
+// through reg — the USYNC_PROCESS variant. Threads in any process
+// that binds a Mutex to the same identity contend on the same lock.
+func (mp *Mutex) InitShared(sv *usync.Var) { mp.sv = sv }
+
+// Enter acquires the lock, blocking if it is already held
+// (mutex_enter).
+func (mp *Mutex) Enter(t *core.Thread) {
+	if mp.sv != nil {
+		mp.enterShared(t)
+		return
+	}
+	spins := 0
+	if mp.variant == VariantSpin {
+		spins = -1 // never park
+	} else if mp.variant == VariantAdaptive || mp.variant == VariantDefault {
+		spins = adaptiveSpins
+	}
+	for {
+		mp.mu.Lock()
+		if !mp.held {
+			mp.held = true
+			if mp.variant == VariantErrorCheck {
+				mp.owner = t
+			}
+			mp.mu.Unlock()
+			return
+		}
+		if mp.variant == VariantErrorCheck && mp.owner == t {
+			mp.mu.Unlock()
+			panic("tsync: recursive mutex_enter (self-deadlock) detected by error-check mutex")
+		}
+		if spins != 0 {
+			mp.mu.Unlock()
+			if spins > 0 {
+				spins--
+			}
+			t.Yield() // let the holder run
+			continue
+		}
+		// Queue and park. The enqueue happens under the word
+		// lock; the wake permit protocol in core makes the
+		// release-side unpark race-free.
+		mp.waiters.push(t)
+		mp.mu.Unlock()
+		t.Park()
+		// Loop: mutex may have been stolen by a barger; Mesa
+		// semantics, as with real adaptive locks.
+	}
+}
+
+// TryEnter acquires the lock only if that requires no blocking
+// (mutex_tryenter); it reports whether the lock was taken. The paper
+// notes it can be used to avoid deadlock in lock-hierarchy
+// violations.
+func (mp *Mutex) TryEnter(t *core.Thread) bool {
+	if mp.sv != nil {
+		return mp.tryEnterShared(t)
+	}
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	if mp.held {
+		return false
+	}
+	mp.held = true
+	if mp.variant == VariantErrorCheck {
+		mp.owner = t
+	}
+	return true
+}
+
+// Exit releases the lock, unblocking one waiter (mutex_exit).
+func (mp *Mutex) Exit(t *core.Thread) {
+	if mp.sv != nil {
+		mp.exitShared(t)
+		return
+	}
+	mp.mu.Lock()
+	if mp.variant == VariantErrorCheck {
+		if !mp.held || mp.owner != t {
+			mp.mu.Unlock()
+			panic("tsync: mutex_exit of a lock not held by the thread")
+		}
+		mp.owner = nil
+	}
+	mp.held = false
+	wake := mp.waiters.pop()
+	mp.mu.Unlock()
+	if wake != nil {
+		wake.Unpark()
+	}
+}
+
+// Held reports whether the mutex is currently held (debugging aid).
+func (mp *Mutex) Held() bool {
+	if mp.sv != nil {
+		var h bool
+		mp.sv.Atomically(func(w usync.Words) { h = w.Load(0) != 0 })
+		return h
+	}
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	return mp.held
+}
+
+// --- process-shared implementation --------------------------------------
+
+func (mp *Mutex) enterShared(t *core.Thread) {
+	l := t.LWP()
+	for {
+		acquired := false
+		mp.sv.Atomically(func(w usync.Words) {
+			if w.Load(0) == 0 {
+				w.Store(0, 1)
+				acquired = true
+			} else {
+				w.Store(1, w.Load(1)+1) // waiter count
+			}
+		})
+		if acquired {
+			return
+		}
+		// Block in the kernel: the thread is temporarily bound to
+		// the LWP that blocks, as in a system call (paper).
+		mp.sv.SleepWhile(l, func(w usync.Words) bool {
+			return w.Load(0) != 0
+		}, usync.SleepOpts{})
+		mp.sv.Atomically(func(w usync.Words) {
+			w.Store(1, w.Load(1)-1)
+		})
+		t.Checkpoint()
+	}
+}
+
+func (mp *Mutex) tryEnterShared(*core.Thread) bool {
+	acquired := false
+	mp.sv.Atomically(func(w usync.Words) {
+		if w.Load(0) == 0 {
+			w.Store(0, 1)
+			acquired = true
+		}
+	})
+	return acquired
+}
+
+func (mp *Mutex) exitShared(*core.Thread) {
+	hadWaiters := false
+	mp.sv.Atomically(func(w usync.Words) {
+		w.Store(0, 0)
+		hadWaiters = w.Load(1) > 0
+	})
+	if hadWaiters {
+		mp.sv.Wake(1)
+	}
+}

@@ -1,0 +1,275 @@
+package tsync
+
+import (
+	"sync"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/usync"
+)
+
+// RWType selects reader or writer acquisition for RWLock.Enter.
+type RWType int
+
+// rw_enter types.
+const (
+	// RWReader acquires a readers lock: many simultaneous holders.
+	RWReader RWType = iota
+	// RWWriter acquires the writer lock: exclusive.
+	RWWriter
+)
+
+// RWLock is the paper's multiple-readers, single-writer lock: a good
+// fit for an object searched more frequently than it is changed.
+// Writers are preferred: a waiting writer blocks new readers, which
+// prevents writer starvation. The zero value is an unheld lock.
+type RWLock struct {
+	mu        sync.Mutex
+	readers   int
+	writer    bool
+	wwaiting  int // writers waiting
+	upgrading bool
+	rq        waitq // blocked readers
+	wq        waitq // blocked writers
+
+	// sv (process-shared variant): word 0 = readers, word 1 =
+	// writer flag, word 2 = waiting writers, word 3 = upgrade in
+	// progress.
+	sv *usync.Var
+}
+
+// RWShmSize is the number of bytes a process-shared readers/writer
+// lock occupies in mapped memory.
+const RWShmSize = 32
+
+// InitShared binds the lock to shared state — the USYNC_PROCESS
+// variant (rw_init with THREAD_SYNC_SHARED).
+func (rw *RWLock) InitShared(sv *usync.Var) { rw.sv = sv }
+
+// Enter acquires a readers or writer lock (rw_enter), blocking as
+// needed.
+func (rw *RWLock) Enter(t *core.Thread, typ RWType) {
+	if rw.sv != nil {
+		rw.enterShared(t, typ)
+		return
+	}
+	for {
+		rw.mu.Lock()
+		if rw.tryLocked(typ) {
+			rw.mu.Unlock()
+			return
+		}
+		if typ == RWWriter {
+			rw.wwaiting++
+			rw.wq.push(t)
+		} else {
+			rw.rq.push(t)
+		}
+		rw.mu.Unlock()
+		t.Park()
+		rw.mu.Lock()
+		if typ == RWWriter {
+			if rw.wq.remove(t) {
+				// Still queued: the wake was spurious; our
+				// wwaiting contribution stands until we
+				// re-queue, so drop it now.
+			}
+			rw.wwaiting--
+		} else {
+			rw.rq.remove(t)
+		}
+		rw.mu.Unlock()
+	}
+}
+
+// tryLocked attempts the acquisition; caller holds rw.mu. Readers are
+// admitted only when no writer holds or awaits the lock (writer
+// preference).
+func (rw *RWLock) tryLocked(typ RWType) bool {
+	if typ == RWWriter {
+		if rw.writer || rw.readers > 0 {
+			return false
+		}
+		rw.writer = true
+		return true
+	}
+	if rw.writer || rw.wwaiting > 0 {
+		return false
+	}
+	rw.readers++
+	return true
+}
+
+// TryEnter acquires the lock only if no blocking is required
+// (rw_tryenter).
+func (rw *RWLock) TryEnter(t *core.Thread, typ RWType) bool {
+	if rw.sv != nil {
+		return rw.tryEnterShared(typ)
+	}
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.tryLocked(typ)
+}
+
+// Exit releases a readers or writer lock (rw_exit).
+func (rw *RWLock) Exit(t *core.Thread) {
+	if rw.sv != nil {
+		rw.exitShared()
+		return
+	}
+	var wakeOne *core.Thread
+	var wakeAll []*core.Thread
+	rw.mu.Lock()
+	switch {
+	case rw.writer:
+		rw.writer = false
+	case rw.readers > 0:
+		rw.readers--
+	default:
+		rw.mu.Unlock()
+		panic("tsync: rw_exit of an unheld lock")
+	}
+	if rw.readers == 0 && !rw.writer {
+		if rw.wq.len() > 0 {
+			wakeOne = rw.wq.pop()
+		} else {
+			wakeAll = rw.rq.popAll()
+		}
+	}
+	rw.mu.Unlock()
+	if wakeOne != nil {
+		wakeOne.Unpark()
+	}
+	for _, w := range wakeAll {
+		w.Unpark()
+	}
+}
+
+// Downgrade atomically converts a writer lock into a readers lock
+// (rw_downgrade). Any waiting writers remain waiting; if there are
+// none, pending readers are woken (paper).
+func (rw *RWLock) Downgrade(t *core.Thread) {
+	if rw.sv != nil {
+		rw.downgradeShared()
+		return
+	}
+	var wakeAll []*core.Thread
+	rw.mu.Lock()
+	if !rw.writer {
+		rw.mu.Unlock()
+		panic("tsync: rw_downgrade without the writer lock")
+	}
+	rw.writer = false
+	rw.readers = 1
+	if rw.wwaiting == 0 {
+		wakeAll = rw.rq.popAll()
+	}
+	rw.mu.Unlock()
+	for _, w := range wakeAll {
+		w.Unpark()
+	}
+}
+
+// TryUpgrade attempts to atomically convert a readers lock into a
+// writer lock (rw_tryupgrade). It fails if another upgrade is in
+// progress, writers are waiting (paper), or other readers hold the
+// lock.
+func (rw *RWLock) TryUpgrade(t *core.Thread) bool {
+	if rw.sv != nil {
+		return rw.tryUpgradeShared()
+	}
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.upgrading || rw.wwaiting > 0 || rw.writer || rw.readers != 1 {
+		return false
+	}
+	rw.readers = 0
+	rw.writer = true
+	return true
+}
+
+// Holders reports (readers, writerHeld) for debugging.
+func (rw *RWLock) Holders() (int, bool) {
+	if rw.sv != nil {
+		var r int
+		var w bool
+		rw.sv.Atomically(func(ws usync.Words) {
+			r = int(ws.Load(0))
+			w = ws.Load(1) != 0
+		})
+		return r, w
+	}
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.readers, rw.writer
+}
+
+// --- process-shared implementation --------------------------------------
+
+func (rw *RWLock) tryEnterShared(typ RWType) bool {
+	ok := false
+	rw.sv.Atomically(func(w usync.Words) {
+		readers, writer, ww := w.Load(0), w.Load(1), w.Load(2)
+		if typ == RWWriter {
+			if writer == 0 && readers == 0 {
+				w.Store(1, 1)
+				ok = true
+			}
+		} else if writer == 0 && ww == 0 {
+			w.Store(0, readers+1)
+			ok = true
+		}
+	})
+	return ok
+}
+
+func (rw *RWLock) enterShared(t *core.Thread, typ RWType) {
+	l := t.LWP()
+	for {
+		if rw.tryEnterShared(typ) {
+			return
+		}
+		if typ == RWWriter {
+			rw.sv.Atomically(func(w usync.Words) { w.Store(2, w.Load(2)+1) })
+			rw.sv.SleepWhile(l, func(w usync.Words) bool {
+				return w.Load(1) != 0 || w.Load(0) != 0
+			}, usync.SleepOpts{})
+			rw.sv.Atomically(func(w usync.Words) { w.Store(2, w.Load(2)-1) })
+		} else {
+			rw.sv.SleepWhile(l, func(w usync.Words) bool {
+				return w.Load(1) != 0 || w.Load(2) != 0
+			}, usync.SleepOpts{})
+		}
+		t.Checkpoint()
+	}
+}
+
+func (rw *RWLock) exitShared() {
+	rw.sv.Atomically(func(w usync.Words) {
+		if w.Load(1) != 0 {
+			w.Store(1, 0)
+		} else if r := w.Load(0); r > 0 {
+			w.Store(0, r-1)
+		}
+	})
+	rw.sv.Wake(-1) // writers and readers re-contend; shared variant keeps one queue
+}
+
+func (rw *RWLock) downgradeShared() {
+	rw.sv.Atomically(func(w usync.Words) {
+		w.Store(1, 0)
+		w.Store(0, 1)
+	})
+	rw.sv.Wake(-1)
+}
+
+func (rw *RWLock) tryUpgradeShared() bool {
+	ok := false
+	rw.sv.Atomically(func(w usync.Words) {
+		if w.Load(3) == 0 && w.Load(2) == 0 && w.Load(1) == 0 && w.Load(0) == 1 {
+			w.Store(0, 0)
+			w.Store(1, 1)
+			ok = true
+		}
+	})
+	return ok
+}

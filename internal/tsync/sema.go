@@ -1,0 +1,138 @@
+package tsync
+
+import (
+	"sync"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/usync"
+)
+
+// Sema is a classic counting semaphore. Semaphores are not as
+// efficient as mutex locks, but they need not be bracketed, so they
+// can be used for asynchronous event notification (e.g. from signal
+// handlers), and they carry state, so they can be used without an
+// associated mutex (paper). The zero value is a semaphore with count
+// zero.
+type Sema struct {
+	mu      sync.Mutex
+	count   uint
+	waiters waitq
+
+	// sv (process-shared variant): word 0 is the count.
+	sv *usync.Var
+}
+
+// SemaShmSize is the number of bytes a process-shared semaphore
+// occupies in mapped memory.
+const SemaShmSize = 8
+
+// Init sets the initial count (sema_init).
+func (sp *Sema) Init(count uint) {
+	sp.mu.Lock()
+	sp.count = count
+	sp.mu.Unlock()
+}
+
+// InitShared binds the semaphore to shared state at the variable —
+// the USYNC_PROCESS variant — and sets the initial count if the
+// shared word is still zero and count is non-zero.
+func (sp *Sema) InitShared(sv *usync.Var, count uint) {
+	sp.sv = sv
+	if count > 0 {
+		sv.Atomically(func(w usync.Words) {
+			if w.Load(0) == 0 {
+				w.Store(0, uint64(count))
+			}
+		})
+	}
+}
+
+// P decrements the semaphore, blocking while the count is zero
+// (sema_p).
+func (sp *Sema) P(t *core.Thread) {
+	if sp.sv != nil {
+		sp.pShared(t)
+		return
+	}
+	for {
+		sp.mu.Lock()
+		if sp.count > 0 {
+			sp.count--
+			sp.mu.Unlock()
+			return
+		}
+		sp.waiters.push(t)
+		sp.mu.Unlock()
+		t.Park()
+		// Mesa semantics: re-check; a barger may have taken the
+		// count.
+		sp.mu.Lock()
+		sp.waiters.remove(t)
+		sp.mu.Unlock()
+	}
+}
+
+// TryP decrements the semaphore only if no blocking is required
+// (sema_tryp); it reports whether the decrement happened.
+func (sp *Sema) TryP(t *core.Thread) bool {
+	if sp.sv != nil {
+		ok := false
+		sp.sv.Atomically(func(w usync.Words) {
+			if c := w.Load(0); c > 0 {
+				w.Store(0, c-1)
+				ok = true
+			}
+		})
+		return ok
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.count == 0 {
+		return false
+	}
+	sp.count--
+	return true
+}
+
+// V increments the semaphore, unblocking one waiter (sema_v). V takes
+// the posting thread for symmetry but never blocks, so it is safe in
+// signal handlers; t may be nil when posting from outside any thread.
+func (sp *Sema) V(t *core.Thread) {
+	if sp.sv != nil {
+		sp.sv.Atomically(func(w usync.Words) { w.Store(0, w.Load(0)+1) })
+		sp.sv.Wake(1)
+		return
+	}
+	sp.mu.Lock()
+	sp.count++
+	wake := sp.waiters.pop()
+	sp.mu.Unlock()
+	if wake != nil {
+		wake.Unpark()
+	}
+}
+
+// Count returns the current count (debugging aid).
+func (sp *Sema) Count() uint {
+	if sp.sv != nil {
+		var c uint64
+		sp.sv.Atomically(func(w usync.Words) { c = w.Load(0) })
+		return uint(c)
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.count
+}
+
+func (sp *Sema) pShared(t *core.Thread) {
+	l := t.LWP()
+	for {
+		if sp.TryP(t) {
+			return
+		}
+		sp.sv.SleepWhile(l, func(w usync.Words) bool {
+			return w.Load(0) == 0
+		}, usync.SleepOpts{})
+		t.Checkpoint()
+	}
+}

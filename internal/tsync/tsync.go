@@ -1,0 +1,98 @@
+// Package tsync implements the paper's thread synchronization
+// facilities: mutual exclusion locks, condition variables, counting
+// semaphores, and multiple-readers/single-writer locks.
+//
+// Each type follows the paper's rules:
+//
+//   - A variable statically or dynamically allocated as zero is
+//     usable immediately and provides the default implementation
+//     variant (all zero values here are valid).
+//   - The programmer chooses an implementation variant at
+//     initialization time (spin, adaptive, sleep/default,
+//     error-checking for mutexes).
+//   - Process-shared variants place their state in mapped memory
+//     (internal/vm object bytes) and block through the kernel
+//     (internal/usync), so threads of different processes — mapping
+//     the object at different virtual addresses — synchronize with
+//     each other, and a variable placed in a file outlives its
+//     creating process.
+//
+// Operations on unshared variables never enter the simulated kernel
+// unless they must block (and for unbound threads not even then: the
+// thread parks at user level and its LWP picks another thread).
+//
+// Every blocking operation takes the calling thread explicitly
+// because Go has no implicit current-thread register; see DESIGN.md.
+package tsync
+
+import (
+	"sync"
+
+	"sunosmt/internal/core"
+)
+
+// Variant selects a mutex implementation variant, as the paper allows
+// at initialization time.
+type Variant int
+
+// Mutex variants.
+const (
+	// VariantDefault parks waiters after a brief adaptive phase.
+	VariantDefault Variant = iota
+	// VariantSpin never parks: waiters spin (yielding the LWP
+	// between probes). Appropriate for short critical sections on
+	// multiprocessors.
+	VariantSpin
+	// VariantAdaptive spins briefly, then parks — explicit version
+	// of the default.
+	VariantAdaptive
+	// VariantErrorCheck records ownership and panics on
+	// self-deadlock or on release by a non-owner, matching the
+	// paper's "extra debugging" variant. Mutexes are strictly
+	// bracketing: releasing a lock not held by the thread is an
+	// error.
+	VariantErrorCheck
+)
+
+// adaptiveSpins bounds the spin phase of adaptive/default mutexes.
+const adaptiveSpins = 32
+
+// waitq is a FIFO of parked threads, protected by the primitive's
+// internal word lock. The word lock (a plain Go mutex) models the
+// hardware atomic instruction sequence of a real implementation: it
+// is never held while parked.
+type waitq struct {
+	q []*core.Thread
+}
+
+func (w *waitq) push(t *core.Thread) { w.q = append(w.q, t) }
+
+func (w *waitq) pop() *core.Thread {
+	if len(w.q) == 0 {
+		return nil
+	}
+	t := w.q[0]
+	w.q = w.q[1:]
+	return t
+}
+
+func (w *waitq) remove(t *core.Thread) bool {
+	for i, x := range w.q {
+		if x == t {
+			w.q = append(w.q[:i], w.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (w *waitq) len() int { return len(w.q) }
+
+// popAll empties the queue, returning the waiters in FIFO order.
+func (w *waitq) popAll() []*core.Thread {
+	q := w.q
+	w.q = nil
+	return q
+}
+
+var _ = sync.Mutex{} // the word lock type used by the primitives

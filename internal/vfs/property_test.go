@@ -1,0 +1,112 @@
+package vfs
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"sunosmt/internal/sim"
+)
+
+// Property: any sequence of writes through the fd layer reads back
+// exactly, and the shared offset advances like a model file.
+func TestFileWriteReadModelProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		h := newHarness(1)
+		ok := true
+		done := h.run(func(l *sim.LWP) {
+			fd, err := h.pf.Open(l, "/tmp/model", OCreate|ORdWr)
+			if err != nil {
+				ok = false
+				return
+			}
+			var model []byte
+			for _, c := range chunks {
+				if len(c) == 0 {
+					continue
+				}
+				n, err := h.pf.Write(l, fd, c)
+				if err != nil || n != len(c) {
+					ok = false
+					return
+				}
+				model = append(model, c...)
+			}
+			if _, err := h.pf.Lseek(fd, 0, SeekSet); err != nil {
+				ok = false
+				return
+			}
+			var back []byte
+			buf := make([]byte, 37) // odd size to cross chunk boundaries
+			for {
+				n, err := h.pf.Read(l, fd, buf)
+				back = append(back, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					ok = false
+					return
+				}
+			}
+			if !bytes.Equal(back, model) {
+				ok = false
+			}
+		})
+		select {
+		case <-done:
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pipe transport delivers every byte in order regardless of
+// chunking, across two LWPs.
+func TestPipeOrderProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		h := newHarness(2)
+		var rfd, wfd int
+		setup := h.run(func(l *sim.LWP) {
+			rfd, wfd, _ = h.pf.Pipe(l)
+		})
+		<-setup
+		var want []byte
+		for _, c := range chunks {
+			want = append(want, c...)
+		}
+		if len(want) > 3*pipeCap {
+			want = want[:3*pipeCap]
+		}
+		got := make([]byte, 0, len(want))
+		reader := h.run(func(l *sim.LWP) {
+			buf := make([]byte, 97)
+			for len(got) < len(want) {
+				n, err := h.pf.Read(l, rfd, buf)
+				if err != nil {
+					return
+				}
+				got = append(got, buf[:n]...)
+			}
+		})
+		writer := h.run(func(l *sim.LWP) {
+			rest := want
+			for len(rest) > 0 {
+				n := min(1000, len(rest))
+				if _, err := h.pf.Write(l, wfd, rest[:n]); err != nil {
+					return
+				}
+				rest = rest[n:]
+			}
+		})
+		<-reader
+		<-writer
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,547 @@
+// Package vm is the address-space substrate: segments, mmap with
+// MAP_SHARED/MAP_PRIVATE semantics, brk/sbrk, and page-granular fault
+// accounting.
+//
+// The paper relies on the VM system in two ways this package must
+// reproduce:
+//
+//   - Synchronization variables may be placed in memory that is
+//     shared between processes (or in mapped files), and they work
+//     even though the sharing processes map the object at different
+//     virtual addresses. That requires resolving a virtual address to
+//     the identity (object, offset) of the underlying mapped object,
+//     which Resolve provides.
+//   - Multiple threads may manipulate the shared address space at the
+//     same time via mmap/brk/sbrk, so every operation here is safe
+//     for concurrent use.
+//
+// Addresses are int64 byte offsets in a simulated 63-bit address
+// space; there is no connection to Go pointers.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the simulated page size.
+const PageSize = 4096
+
+// Errors returned by address-space operations.
+var (
+	// ErrFault is returned for accesses to unmapped addresses
+	// (SIGSEGV territory; the threads layer turns it into a trap).
+	ErrFault = errors.New("vm: segmentation fault")
+	// ErrProt is returned for accesses violating segment
+	// protections.
+	ErrProt = errors.New("vm: protection violation")
+	// ErrInval is returned for malformed requests.
+	ErrInval = errors.New("vm: invalid argument")
+)
+
+var objectIDs atomic.Uint64
+
+// NextObjectID hands out process-global mapping-object identities.
+// internal/vfs uses it so files and anonymous memory share one id
+// space.
+func NextObjectID() uint64 { return objectIDs.Add(1) }
+
+// Object is a mappable backing object. Files (internal/vfs) and
+// anonymous memory both implement it. An Object's identity — not the
+// virtual address it happens to be mapped at — names synchronization
+// variables shared between processes.
+type Object interface {
+	// ObjectID returns the object's unique identity.
+	ObjectID() uint64
+	// ObjectSize returns the current size in bytes.
+	ObjectSize() int64
+	// ReadObject copies len(b) bytes at off into b.
+	ReadObject(b []byte, off int64) error
+	// WriteObject copies b into the object at off, growing it if
+	// needed.
+	WriteObject(b []byte, off int64) error
+	// FileBacked reports whether first-touch faults are major
+	// (backed by a file) or minor (anonymous).
+	FileBacked() bool
+}
+
+// Anon is an anonymous memory object.
+type Anon struct {
+	id   uint64
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewAnon allocates a zeroed anonymous object of the given size.
+func NewAnon(size int64) *Anon {
+	return &Anon{id: NextObjectID(), data: make([]byte, size)}
+}
+
+// ObjectID implements Object.
+func (a *Anon) ObjectID() uint64 { return a.id }
+
+// ObjectSize implements Object.
+func (a *Anon) ObjectSize() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.data))
+}
+
+// FileBacked implements Object.
+func (a *Anon) FileBacked() bool { return false }
+
+// ReadObject implements Object. Reads beyond the end return zeroes
+// (demand-zero pages).
+func (a *Anon) ReadObject(b []byte, off int64) error {
+	if off < 0 {
+		return ErrInval
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range b {
+		p := off + int64(i)
+		if p < int64(len(a.data)) {
+			b[i] = a.data[p]
+		} else {
+			b[i] = 0
+		}
+	}
+	return nil
+}
+
+// WriteObject implements Object, growing the object as needed.
+func (a *Anon) WriteObject(b []byte, off int64) error {
+	if off < 0 {
+		return ErrInval
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if need := off + int64(len(b)); need > int64(len(a.data)) {
+		grown := make([]byte, need)
+		copy(grown, a.data)
+		a.data = grown
+	}
+	copy(a.data[off:], b)
+	return nil
+}
+
+// snapshot returns a private copy of the object's current contents,
+// used for MAP_PRIVATE and fork.
+func snapshot(o Object) (*Anon, error) {
+	size := o.ObjectSize()
+	c := NewAnon(size)
+	if size > 0 {
+		buf := make([]byte, size)
+		if err := o.ReadObject(buf, 0); err != nil {
+			return nil, err
+		}
+		copy(c.data, buf)
+	}
+	return c, nil
+}
+
+// Prot is a segment protection bitmask.
+type Prot int
+
+// Protection bits.
+const (
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+)
+
+// MapFlags selects mapping semantics.
+type MapFlags int
+
+// Mapping flags.
+const (
+	// MapShared stores through to the underlying object: all
+	// processes mapping the object see each other's writes, and
+	// synchronization variables in the mapping synchronize across
+	// processes.
+	MapShared MapFlags = 1 << iota
+	// MapPrivate takes a snapshot: modifications are not visible
+	// to other processes. (Real kernels use copy-on-write; the
+	// copy here is eager, which preserves the visible semantics.)
+	MapPrivate
+	// MapFixed places the mapping exactly at the requested
+	// address, unmapping anything in the way.
+	MapFixed
+)
+
+// Segment is one contiguous mapping in an address space.
+type Segment struct {
+	Base   int64
+	Length int64
+	Prot   Prot
+	Flags  MapFlags
+	obj    Object // the store target (private copy for MapPrivate)
+	origin Object // the originally mapped object (== obj when shared)
+	objOff int64
+	// touched tracks first-touch pages for fault accounting.
+	touched map[int64]struct{}
+}
+
+func (s *Segment) end() int64 { return s.Base + s.Length }
+
+// AddressSpace is a process's simulated address space.
+type AddressSpace struct {
+	mu      sync.Mutex
+	segs    []*Segment // sorted by Base
+	brk     int64
+	brkBase int64
+	heapObj *Anon
+	mapHint int64
+	// FaultFn, if set, is called once per first-touched page.
+	faultFn func(major bool)
+}
+
+// Layout constants: the heap grows from brkBase; mmap allocations
+// grow down from mapTop.
+const (
+	brkBase = int64(0x0000_1000_0000)
+	mapTop  = int64(0x7000_0000_0000)
+)
+
+// New creates an empty address space. faultFn (may be nil) is invoked
+// for each first touch of a page, with major=true for file-backed
+// pages.
+func New(faultFn func(major bool)) *AddressSpace {
+	as := &AddressSpace{
+		brk:     brkBase,
+		brkBase: brkBase,
+		mapHint: mapTop,
+		faultFn: faultFn,
+	}
+	return as
+}
+
+// SetFaultFn replaces the fault accounting callback.
+func (as *AddressSpace) SetFaultFn(fn func(major bool)) {
+	as.mu.Lock()
+	as.faultFn = fn
+	as.mu.Unlock()
+}
+
+func pageRound(n int64) int64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// Mmap maps length bytes of obj starting at objOff. If va is zero
+// (and MapFixed unset) the kernel chooses an address. obj may be nil
+// for fresh anonymous memory. Returns the mapped base address.
+func (as *AddressSpace) Mmap(va, length int64, prot Prot, flags MapFlags, obj Object, objOff int64) (int64, error) {
+	if length <= 0 || objOff < 0 {
+		return 0, ErrInval
+	}
+	if flags&MapShared != 0 && flags&MapPrivate != 0 {
+		return 0, ErrInval
+	}
+	if flags&(MapShared|MapPrivate) == 0 {
+		return 0, ErrInval
+	}
+	length = pageRound(length)
+	var origin Object
+	if obj == nil {
+		obj = NewAnon(length)
+		origin = obj
+	} else {
+		origin = obj
+		if flags&MapPrivate != 0 {
+			snap, err := snapshot(obj)
+			if err != nil {
+				return 0, err
+			}
+			obj = snap
+		}
+	}
+
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if flags&MapFixed != 0 {
+		if va%PageSize != 0 {
+			return 0, ErrInval
+		}
+		as.unmapLocked(va, length)
+	} else {
+		va = as.findHoleLocked(length)
+	}
+	seg := &Segment{
+		Base: va, Length: length, Prot: prot, Flags: flags,
+		obj: obj, origin: origin, objOff: objOff,
+		touched: make(map[int64]struct{}),
+	}
+	as.insertLocked(seg)
+	return va, nil
+}
+
+// Munmap removes mappings overlapping [va, va+length).
+func (as *AddressSpace) Munmap(va, length int64) error {
+	if length <= 0 || va%PageSize != 0 {
+		return ErrInval
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.unmapLocked(va, pageRound(length))
+	return nil
+}
+
+// findHoleLocked picks an unused range below the map hint.
+func (as *AddressSpace) findHoleLocked(length int64) int64 {
+	va := as.mapHint - length
+	for {
+		if as.overlapLocked(va, length) == nil {
+			as.mapHint = va
+			return va
+		}
+		va -= PageSize
+	}
+}
+
+func (as *AddressSpace) overlapLocked(va, length int64) *Segment {
+	for _, s := range as.segs {
+		if va < s.end() && s.Base < va+length {
+			return s
+		}
+	}
+	return nil
+}
+
+func (as *AddressSpace) insertLocked(seg *Segment) {
+	i := 0
+	for i < len(as.segs) && as.segs[i].Base < seg.Base {
+		i++
+	}
+	as.segs = append(as.segs, nil)
+	copy(as.segs[i+1:], as.segs[i:])
+	as.segs[i] = seg
+}
+
+// unmapLocked removes or trims segments overlapping the range.
+// Partial unmaps split segments.
+func (as *AddressSpace) unmapLocked(va, length int64) {
+	end := va + length
+	var out []*Segment
+	for _, s := range as.segs {
+		if s.end() <= va || end <= s.Base {
+			out = append(out, s)
+			continue
+		}
+		// Left remainder.
+		if s.Base < va {
+			left := *s
+			left.Length = va - s.Base
+			out = append(out, &left)
+		}
+		// Right remainder.
+		if end < s.end() {
+			right := *s
+			right.objOff = s.objOff + (end - s.Base)
+			right.Base = end
+			right.Length = s.end() - end
+			out = append(out, &right)
+		}
+	}
+	as.segs = out
+}
+
+// findLocked returns the segment containing va.
+func (as *AddressSpace) findLocked(va int64) *Segment {
+	for _, s := range as.segs {
+		if va >= s.Base && va < s.end() {
+			return s
+		}
+	}
+	return nil
+}
+
+// touchLocked performs first-touch fault accounting for [va,va+n).
+func (as *AddressSpace) touchLocked(s *Segment, va, n int64) {
+	first := va / PageSize
+	last := (va + n - 1) / PageSize
+	for pg := first; pg <= last; pg++ {
+		if _, ok := s.touched[pg]; ok {
+			continue
+		}
+		s.touched[pg] = struct{}{}
+		if as.faultFn != nil {
+			as.faultFn(s.obj.FileBacked())
+		}
+	}
+}
+
+// access validates an access and returns the segment. Accesses must
+// fall within one segment.
+func (as *AddressSpace) access(va, n int64, want Prot) (*Segment, error) {
+	if n <= 0 {
+		return nil, ErrInval
+	}
+	s := as.findLocked(va)
+	if s == nil || va+n > s.end() {
+		return nil, fmt.Errorf("%w: va %#x+%d", ErrFault, va, n)
+	}
+	if s.Prot&want != want {
+		return nil, fmt.Errorf("%w: va %#x", ErrProt, va)
+	}
+	as.touchLocked(s, va, n)
+	return s, nil
+}
+
+// Read copies memory at va into b.
+func (as *AddressSpace) Read(va int64, b []byte) error {
+	as.mu.Lock()
+	s, err := as.access(va, int64(len(b)), ProtRead)
+	if err != nil {
+		as.mu.Unlock()
+		return err
+	}
+	obj, off := s.obj, s.objOff+(va-s.Base)
+	as.mu.Unlock()
+	return obj.ReadObject(b, off)
+}
+
+// Write copies b into memory at va.
+func (as *AddressSpace) Write(va int64, b []byte) error {
+	as.mu.Lock()
+	s, err := as.access(va, int64(len(b)), ProtWrite)
+	if err != nil {
+		as.mu.Unlock()
+		return err
+	}
+	obj, off := s.obj, s.objOff+(va-s.Base)
+	as.mu.Unlock()
+	return obj.WriteObject(b, off)
+}
+
+// Resolve maps a virtual address to the identity of the backing
+// object and the offset within it. Synchronization variables placed
+// in shared memory are named by this (object, offset) pair, which is
+// how threads in different processes find the same variable even when
+// the object is mapped at different virtual addresses.
+func (as *AddressSpace) Resolve(va int64) (Object, int64, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	s := as.findLocked(va)
+	if s == nil {
+		return nil, 0, fmt.Errorf("%w: va %#x", ErrFault, va)
+	}
+	return s.obj, s.objOff + (va - s.Base), nil
+}
+
+// Brk sets the break to addr, like brk(2).
+func (as *AddressSpace) Brk(addr int64) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if addr < as.brkBase {
+		return ErrInval
+	}
+	as.ensureHeapLocked(addr)
+	as.brk = addr
+	return nil
+}
+
+// Sbrk adjusts the break by delta and returns the previous break.
+func (as *AddressSpace) Sbrk(delta int64) (int64, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	old := as.brk
+	next := old + delta
+	if next < as.brkBase {
+		return 0, ErrInval
+	}
+	as.ensureHeapLocked(next)
+	as.brk = next
+	return old, nil
+}
+
+// ensureHeapLocked keeps a heap segment covering [brkBase, addr).
+func (as *AddressSpace) ensureHeapLocked(addr int64) {
+	need := pageRound(addr - as.brkBase)
+	if need <= 0 {
+		return
+	}
+	if as.heapObj == nil {
+		as.heapObj = NewAnon(need)
+		seg := &Segment{
+			Base: as.brkBase, Length: need,
+			Prot: ProtRead | ProtWrite, Flags: MapPrivate,
+			obj: as.heapObj, origin: as.heapObj,
+			touched: make(map[int64]struct{}),
+		}
+		as.insertLocked(seg)
+		return
+	}
+	// Grow the existing heap segment.
+	for _, s := range as.segs {
+		if s.obj == as.heapObj && s.Base == as.brkBase {
+			if need > s.Length {
+				s.Length = need
+			}
+			return
+		}
+	}
+}
+
+// Brk0 returns the current break.
+func (as *AddressSpace) Brk0() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.brk
+}
+
+// Segments returns a snapshot of the mappings, sorted by base.
+func (as *AddressSpace) Segments() []Segment {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]Segment, len(as.segs))
+	for i, s := range as.segs {
+		out[i] = *s
+		out[i].touched = nil
+	}
+	return out
+}
+
+// Fork duplicates the address space for a child process: shared
+// mappings refer to the same objects; private mappings (including the
+// heap) are copied.
+func (as *AddressSpace) Fork() (*AddressSpace, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	child := &AddressSpace{
+		brk:     as.brk,
+		brkBase: as.brkBase,
+		mapHint: as.mapHint,
+		faultFn: nil, // the caller wires the child's accounting
+	}
+	for _, s := range as.segs {
+		ns := &Segment{
+			Base: s.Base, Length: s.Length, Prot: s.Prot,
+			Flags: s.Flags, obj: s.obj, origin: s.origin,
+			objOff: s.objOff, touched: make(map[int64]struct{}),
+		}
+		if s.Flags&MapPrivate != 0 {
+			snap, err := snapshot(s.obj)
+			if err != nil {
+				return nil, err
+			}
+			ns.obj = snap
+			if s.obj == as.heapObj {
+				child.heapObj = snap
+			}
+		}
+		child.segs = append(child.segs, ns)
+	}
+	return child, nil
+}
+
+// Reset drops all mappings (used by exec).
+func (as *AddressSpace) Reset() {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.segs = nil
+	as.heapObj = nil
+	as.brk = as.brkBase
+	as.mapHint = mapTop
+}

@@ -1,0 +1,163 @@
+package mt
+
+// Tests for the paper's optional/extension behaviours: the
+// scheduler-activations-flavoured SignalOnAnyBlock variant the paper
+// proposes as future work ("we plan to experiment with sending
+// signals on 'faster' events"), alternate signal stacks as a
+// bound-thread-only capability, and per-LWP interval timers.
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/sim"
+)
+
+// TestSignalOnAnyBlockGrowsPoolOnShortWaits: with the "faster events"
+// variant enabled, even a short pipe read (not an indefinite wait like
+// poll) triggers pool growth, so a runnable thread never waits for the
+// blocked LWP. This is the paper's comparison point with scheduler
+// activations, which upcall on every kernel block.
+func TestSignalOnAnyBlockGrowsPoolOnShortWaits(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2, SignalOnAnyBlock: true})
+	var helperRan atomic.Bool
+	p := spawn(t, sys, "anyblock", ProcConfig{}, func(p *Proc, tt *Thread) {
+		rfd, wfd, _ := p.Pipe(tt)
+		tt.Runtime().Create(func(c *Thread, _ any) {
+			helperRan.Store(true)
+			p.Write(c, wfd, []byte("x"))
+		}, nil, CreateOpts{})
+		// A pipe read: with plain SIGWAITING this is also an
+		// indefinite wait, but the distinguishing case is a
+		// *bounded* kernel sleep, which only the any-block
+		// variant reports.
+		b := make([]byte, 1)
+		if _, err := p.Read(tt, rfd, b); err != nil {
+			t.Error(err)
+		}
+	})
+	waitProc(t, p)
+	if !helperRan.Load() {
+		t.Fatal("helper starved under SignalOnAnyBlock")
+	}
+}
+
+// TestBoundedSleepGrowsPoolOnlyWithAnyBlock pins the difference
+// between the two policies using a bounded nanosleep, which is NOT an
+// indefinite wait: the default SIGWAITING policy must not grow the
+// pool for it; the any-block policy must.
+func TestBoundedSleepGrowsPoolOnlyWithAnyBlock(t *testing.T) {
+	run := func(anyBlock bool) (helperRanDuringSleep bool) {
+		sys := NewSystem(Options{NCPU: 2, SignalOnAnyBlock: anyBlock})
+		var ran atomic.Bool
+		var sawDuringSleep atomic.Bool
+		p := spawn(t, sys, "sleep", ProcConfig{}, func(p *Proc, tt *Thread) {
+			tt.Runtime().Create(func(c *Thread, _ any) {
+				ran.Store(true)
+			}, nil, CreateOpts{})
+			p.Sleep(tt, 20*time.Millisecond)
+			sawDuringSleep.Store(ran.Load())
+		})
+		waitProc(t, p)
+		return sawDuringSleep.Load()
+	}
+	if !run(true) {
+		t.Fatal("any-block policy did not rescue the runnable thread during a bounded sleep")
+	}
+	if run(false) {
+		t.Fatal("default policy grew the pool for a bounded (non-indefinite) sleep")
+	}
+}
+
+func TestAltStackOnlyForBoundThreads(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	p := spawn(t, sys, "altstack", ProcConfig{}, func(p *Proc, tt *Thread) {
+		// Unbound: rejected, per the paper.
+		if err := tt.SigAltStack(0x1000, 4096, true); !errors.Is(err, core.ErrUnboundAltStack) {
+			t.Errorf("unbound SigAltStack err = %v", err)
+		}
+		handledOnAlt := make(chan bool, 1)
+		tt.Runtime().Signal(sim.SIGUSR1, sim.SigCatch, func(ht *Thread, _ sim.Signal) {
+			st := ht.Runtime().Kernel().AltStackState(ht.LWP())
+			handledOnAlt <- st.OnStack
+		})
+		b, _ := tt.Runtime().Create(func(c *Thread, _ any) {
+			if err := c.SigAltStack(0x1000, 4096, true); err != nil {
+				t.Error(err)
+				return
+			}
+			c.Kill(c, sim.SIGUSR1) // handled at the next checkpoint
+			c.Checkpoint()
+			st := c.Runtime().Kernel().AltStackState(c.LWP())
+			if st.OnStack {
+				t.Error("alt-stack flag not cleared after handler")
+			}
+		}, nil, CreateOpts{Flags: ThreadWait | ThreadBindLWP})
+		tt.Wait(b.ID())
+		select {
+		case on := <-handledOnAlt:
+			if !on {
+				t.Error("handler did not run on the alternate stack")
+			}
+		default:
+			t.Error("handler never ran")
+		}
+	})
+	waitProc(t, p)
+}
+
+// TestPerLWPTimersRequireBoundThreads pins the paper's rule that
+// virtual-time state belongs to LWPs: a bound thread's SIGVTALRM
+// arrives at that thread.
+func TestPerLWPTimersRequireBoundThreads(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	var gotVT atomic.Bool
+	p := spawn(t, sys, "timers", ProcConfig{}, func(p *Proc, tt *Thread) {
+		tt.Runtime().Signal(sim.SIGVTALRM, sim.SigCatch, func(ht *Thread, _ sim.Signal) {
+			gotVT.Store(true)
+		})
+		b, _ := tt.Runtime().Create(func(c *Thread, _ any) {
+			if err := p.Setitimer(c, sim.ITimerVirtual, time.Millisecond, 0); err != nil {
+				t.Error(err)
+				return
+			}
+			deadline := time.Now().Add(200 * time.Millisecond)
+			for !gotVT.Load() && time.Now().Before(deadline) {
+				// burn virtual (user) time; checkpoints charge it
+				for i := 0; i < 1000; i++ {
+					_ = i * i
+				}
+				c.Checkpoint()
+			}
+		}, nil, CreateOpts{Flags: ThreadWait | ThreadBindLWP})
+		tt.Wait(b.ID())
+	})
+	waitProc(t, p)
+	if !gotVT.Load() {
+		t.Fatal("SIGVTALRM never delivered to the bound thread")
+	}
+}
+
+// TestCredentialsAreProcessWide pins "There is only one set of user
+// and group IDs for each process".
+func TestCredentialsAreProcessWide(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1})
+	p := spawn(t, sys, "creds", ProcConfig{}, func(p *Proc, tt *Thread) {
+		p.Process().SetCredentials(sim.Credentials{UID: 100, GID: 10})
+		c, _ := tt.Runtime().Create(func(c *Thread, _ any) {
+			// The other thread sees the change immediately.
+			if got := c.Runtime().Process().Credentials(); got.UID != 100 {
+				t.Errorf("child thread saw UID %d", got.UID)
+			}
+			c.Runtime().Process().SetCredentials(sim.Credentials{UID: 200, GID: 20})
+		}, nil, CreateOpts{Flags: ThreadWait})
+		tt.Wait(c.ID())
+		if got := p.Process().Credentials(); got.UID != 200 {
+			t.Errorf("main thread saw UID %d after child's change", got.UID)
+		}
+	})
+	waitProc(t, p)
+}

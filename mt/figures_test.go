@@ -1,0 +1,209 @@
+package mt
+
+// Integration tests that pin the paper's architecture figures as
+// executable facts (see DESIGN.md's per-experiment index).
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sunosmt/internal/sim"
+)
+
+// TestFigure2DispatchCycle checks the trace of an LWP multiplexing
+// several threads: the same LWP runs thread after thread, with parks
+// in between — choose (a), execute (b), save state (c), choose
+// another (d).
+func TestFigure2DispatchCycle(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1, TraceCapacity: 512})
+	p := spawn(t, sys, "fig2", ProcConfig{}, func(p *Proc, tt *Thread) {
+		r := tt.Runtime()
+		var ids []ThreadID
+		for i := 0; i < 3; i++ {
+			c, _ := r.Create(func(c *Thread, _ any) {
+				c.Yield()
+			}, nil, CreateOpts{Flags: ThreadWait})
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			tt.Wait(id)
+		}
+	})
+	waitProc(t, p)
+	evs := sys.Trace().Kinds("disp")
+	// The library dispatch events ("lwp N runs thread M") must show
+	// one LWP running at least three distinct threads.
+	seen := map[string]bool{}
+	for _, e := range evs {
+		if strings.Contains(e.Msg, "runs thread") {
+			seen[e.Msg] = true
+		}
+	}
+	distinct := map[string]bool{}
+	for msg := range seen {
+		if i := strings.Index(msg, "thread"); i >= 0 {
+			distinct[msg[i:]] = true
+		}
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("dispatch trace shows %d distinct threads, want >= 3:\n%v", len(distinct), evs)
+	}
+}
+
+// TestFigure3Configurations builds the paper's five process
+// configurations and verifies each one's structural invariant.
+func TestFigure3Configurations(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+
+	// proc 1: one thread, one LWP.
+	p1 := spawn(t, sys, "proc1", ProcConfig{}, func(p *Proc, tt *Thread) {
+		if n := p.Process().NumLWPs(); n != 1 {
+			t.Errorf("proc1 has %d LWPs, want 1", n)
+		}
+		if n := tt.Runtime().NumThreads(); n != 1 {
+			t.Errorf("proc1 has %d threads, want 1", n)
+		}
+	})
+	waitProc(t, p1)
+
+	// proc 3: M threads multiplexed on N < M LWPs.
+	p3 := spawn(t, sys, "proc3", ProcConfig{}, func(p *Proc, tt *Thread) {
+		r := tt.Runtime()
+		r.SetConcurrency(2)
+		var done atomic.Int64
+		var ids []ThreadID
+		for i := 0; i < 6; i++ {
+			c, _ := r.Create(func(c *Thread, _ any) {
+				done.Add(1)
+				c.Yield()
+			}, nil, CreateOpts{Flags: ThreadWait})
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			tt.Wait(id)
+		}
+		if done.Load() != 6 {
+			t.Errorf("proc3 ran %d threads", done.Load())
+		}
+		if lw := p.Process().NumLWPs(); lw > 3 {
+			t.Errorf("proc3 used %d LWPs for 6 threads, want <= 3 (M:N)", lw)
+		}
+	})
+	waitProc(t, p3)
+
+	// proc 4: threads permanently bound to LWPs — LWP count grows
+	// with each bound thread.
+	p4 := spawn(t, sys, "proc4", ProcConfig{}, func(p *Proc, tt *Thread) {
+		before := p.Process().NumLWPs()
+		hold := make(chan struct{})
+		var ids []ThreadID
+		for i := 0; i < 2; i++ {
+			c, _ := tt.Runtime().Create(func(c *Thread, _ any) {
+				<-hold
+			}, nil, CreateOpts{Flags: ThreadWait | ThreadBindLWP})
+			ids = append(ids, c.ID())
+		}
+		// Each bound thread brought its own LWP.
+		deadline := time.Now().Add(5 * time.Second)
+		for p.Process().NumLWPs() < before+2 {
+			if time.Now().After(deadline) {
+				t.Errorf("LWPs = %d, want %d", p.Process().NumLWPs(), before+2)
+				break
+			}
+			tt.Yield()
+		}
+		close(hold)
+		for _, id := range ids {
+			tt.Wait(id)
+		}
+	})
+	waitProc(t, p4)
+
+	// proc 5: mixed — unbound group plus a bound thread whose LWP
+	// is CPU-bound and real-time; bound and unbound threads still
+	// synchronize with each other.
+	p5 := spawn(t, sys, "proc5", ProcConfig{}, func(p *Proc, tt *Thread) {
+		var mu Mutex
+		var cv Cond
+		ready := false
+		b, _ := tt.Runtime().Create(func(c *Thread, _ any) {
+			if err := p.BindCPU(c, 1); err != nil {
+				t.Error(err)
+			}
+			if err := p.Priocntl(c, sim.ClassRT, 10); err != nil {
+				t.Error(err)
+			}
+			mu.Enter(c)
+			ready = true
+			mu.Exit(c)
+			cv.Broadcast(c)
+		}, nil, CreateOpts{Flags: ThreadWait | ThreadBindLWP})
+		u, _ := tt.Runtime().Create(func(c *Thread, _ any) {
+			mu.Enter(c)
+			for !ready {
+				cv.Wait(c, &mu)
+			}
+			mu.Exit(c)
+		}, nil, CreateOpts{Flags: ThreadWait})
+		tt.Wait(b.ID())
+		tt.Wait(u.ID())
+	})
+	waitProc(t, p5)
+}
+
+// TestFigure1LockLifetimeBeyondProcess pins the paper's claim that a
+// synchronization variable in a file has a lifetime beyond that of
+// the creating process.
+func TestFigure1LockLifetimeBeyondProcess(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1})
+	// First process creates the file, maps it, takes the lock, and
+	// exits without releasing (simulating a crash mid-update).
+	p1 := spawn(t, sys, "creator", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/tmp/rec.db", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, err := p.SharedMutexAt(tt, va)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Enter(tt)
+	})
+	waitProc(t, p1)
+
+	// A later process sees the lock still held.
+	p2 := spawn(t, sys, "later", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/tmp/rec.db", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, err := p.SharedMutexAt(tt, va)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if mu.TryEnter(tt) {
+			t.Error("lock state did not persist in the file")
+		}
+	})
+	waitProc(t, p2)
+}
+
+// TestGetrusageAggregatesLWPs pins the resource-usage rule: the sum
+// of the usage of all LWPs is available via getrusage().
+func TestGetrusageAggregatesLWPs(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	p := spawn(t, sys, "usage", ProcConfig{}, func(p *Proc, tt *Thread) {
+		deadline := time.Now().Add(5 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			tt.Checkpoint()
+		}
+		r := p.Getrusage(tt)
+		if r.UserTime <= 0 {
+			t.Errorf("user time = %v, want > 0", r.UserTime)
+		}
+		if r.LiveLWPs < 1 {
+			t.Errorf("live LWPs = %d", r.LiveLWPs)
+		}
+	})
+	waitProc(t, p)
+}

@@ -1,0 +1,306 @@
+// Package mt is the public API of the SunOS multi-thread architecture
+// reproduction: a simulated multiprocessor machine running a SunOS
+// 5-style kernel, UNIX processes whose threads are multiplexed on
+// LWPs by the threads library, the synchronization facilities of the
+// paper (mutexes, condition variables, semaphores, readers/writer
+// locks — including process-shared variants placed in mapped files),
+// per-thread signal masks, and the reinterpreted UNIX services
+// (fork/fork1/exec/exit/wait, shared descriptor tables, /proc).
+//
+// # Quick start
+//
+//	sys := mt.NewSystem(mt.Options{NCPU: 2})
+//	p, _ := sys.Spawn("hello", func(t *mt.Thread, _ any) {
+//		child, _ := t.Runtime().Create(func(c *mt.Thread, _ any) {
+//			// ... concurrent work ...
+//		}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+//		t.Wait(child.ID())
+//	}, nil, mt.ProcConfig{})
+//	p.WaitExit()
+//
+// Thread bodies receive their *mt.Thread handle explicitly (Go has no
+// hidden "current thread" register); every potentially blocking call
+// takes the calling thread. Everything else follows the paper's
+// Figure 4 interface.
+package mt
+
+import (
+	"time"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/ktime"
+	"sunosmt/internal/sim"
+	"sunosmt/internal/trace"
+	"sunosmt/internal/tsync"
+	"sunosmt/internal/usync"
+	"sunosmt/internal/vfs"
+	"sunosmt/internal/vm"
+)
+
+// Re-exported thread types: the threads interface of the paper's
+// Figure 4.
+type (
+	// Thread is a user-level thread.
+	Thread = core.Thread
+	// ThreadID identifies a thread within its process.
+	ThreadID = core.ThreadID
+	// Func is a thread body.
+	Func = core.Func
+	// CreateOpts carries thread_create's optional arguments.
+	CreateOpts = core.CreateOpts
+	// Runtime is the per-process threads library instance.
+	Runtime = core.Runtime
+	// TLSVar names a registered unshared (thread-local) variable.
+	TLSVar = core.TLSVar
+	// Jmpbuf is a setjmp/longjmp target.
+	Jmpbuf = core.Jmpbuf
+	// ThreadState is a thread's library-level state.
+	ThreadState = core.ThreadState
+	// TSDKey names an item of POSIX-style thread-specific data,
+	// the dynamic mechanism the paper says can be built on
+	// thread-local storage.
+	TSDKey = core.TSDKey
+)
+
+// Thread states.
+const (
+	ThreadRunnable = core.ThreadRunnable
+	ThreadRunning  = core.ThreadRunning
+	ThreadSleeping = core.ThreadSleeping
+	ThreadStopped  = core.ThreadStopped
+	ThreadWaiting  = core.ThreadWaiting
+	ThreadZombie   = core.ThreadZombie
+)
+
+// thread_create flags.
+const (
+	ThreadStop    = core.ThreadStop
+	ThreadNewLWP  = core.ThreadNewLWP
+	ThreadBindLWP = core.ThreadBindLWP
+	ThreadWait    = core.ThreadWait
+	ThreadDaemon  = core.ThreadDaemon
+)
+
+// Synchronization types (paper, "Thread synchronization").
+type (
+	// Mutex is a mutual exclusion lock.
+	Mutex = tsync.Mutex
+	// Cond is a condition variable.
+	Cond = tsync.Cond
+	// Sema is a counting semaphore.
+	Sema = tsync.Sema
+	// RWLock is a multiple-readers, single-writer lock.
+	RWLock = tsync.RWLock
+	// Variant selects a mutex implementation variant.
+	Variant = tsync.Variant
+	// RWType selects reader or writer acquisition.
+	RWType = tsync.RWType
+)
+
+// Synchronization constants.
+const (
+	VariantDefault    = tsync.VariantDefault
+	VariantSpin       = tsync.VariantSpin
+	VariantAdaptive   = tsync.VariantAdaptive
+	VariantErrorCheck = tsync.VariantErrorCheck
+	RWReader          = tsync.RWReader
+	RWWriter          = tsync.RWWriter
+)
+
+// Signal machinery re-exports.
+type (
+	// Signal is a SVR4-style signal number.
+	Signal = sim.Signal
+	// Sigset is a set of signals.
+	Sigset = sim.Sigset
+	// SigHow selects mask combination for SigSetMask.
+	SigHow = sim.SigHow
+	// Disposition is a process-wide handler setting.
+	Disposition = sim.Disposition
+)
+
+// Signal constants (subset; see internal/sim for all).
+const (
+	SIGHUP     = sim.SIGHUP
+	SIGINT     = sim.SIGINT
+	SIGILL     = sim.SIGILL
+	SIGFPE     = sim.SIGFPE
+	SIGKILL    = sim.SIGKILL
+	SIGBUS     = sim.SIGBUS
+	SIGSEGV    = sim.SIGSEGV
+	SIGPIPE    = sim.SIGPIPE
+	SIGALRM    = sim.SIGALRM
+	SIGTERM    = sim.SIGTERM
+	SIGUSR1    = sim.SIGUSR1
+	SIGUSR2    = sim.SIGUSR2
+	SIGCHLD    = sim.SIGCHLD
+	SIGIO      = sim.SIGIO
+	SIGSTOP    = sim.SIGSTOP
+	SIGCONT    = sim.SIGCONT
+	SIGVTALRM  = sim.SIGVTALRM
+	SIGPROF    = sim.SIGPROF
+	SIGXCPU    = sim.SIGXCPU
+	SIGWAITING = sim.SIGWAITING
+	SigBlock   = sim.SigBlock
+	SigUnblock = sim.SigUnblock
+	SigSetMask = sim.SigSetMask
+	SigDfl     = sim.SigDfl
+	SigIgn     = sim.SigIgn
+	SigCatch   = sim.SigCatch
+)
+
+// Options configures a System.
+type Options struct {
+	// NCPU is the number of simulated processors (default 1).
+	NCPU int
+	// Clock drives time; nil selects the real clock.
+	Clock ktime.Clock
+	// TimeSlice enables kernel time slicing at preemption points.
+	TimeSlice time.Duration
+	// TraceCapacity enables a system-wide trace ring of the given
+	// size.
+	TraceCapacity int
+	// SignalOnAnyBlock turns on the paper's proposed "signals on
+	// faster events" variant of SIGWAITING (see internal/sim).
+	SignalOnAnyBlock bool
+}
+
+// System is one simulated machine: CPUs, kernel, file system, and the
+// registry for process-shared synchronization variables.
+type System struct {
+	Kern *sim.Kernel
+	FS   *vfs.FS
+	Reg  *usync.Registry
+	tr   *trace.Buffer
+}
+
+// NewSystem boots a machine.
+func NewSystem(o Options) *System {
+	var tr *trace.Buffer
+	cfg := sim.Config{
+		NCPU:             o.NCPU,
+		Clock:            o.Clock,
+		TimeSlice:        o.TimeSlice,
+		SignalOnAnyBlock: o.SignalOnAnyBlock,
+	}
+	if o.TraceCapacity > 0 {
+		clk := o.Clock
+		if clk == nil {
+			clk = ktime.NewReal()
+			cfg.Clock = clk
+		}
+		tr = trace.New(o.TraceCapacity, clk.Now)
+		cfg.Trace = tr
+	}
+	k := sim.NewKernel(cfg)
+	s := &System{
+		Kern: k,
+		FS:   vfs.NewFS(k),
+		Reg:  usync.NewRegistry(k),
+		tr:   tr,
+	}
+	return s
+}
+
+// Trace returns the system trace buffer (nil unless TraceCapacity was
+// set).
+func (s *System) Trace() *trace.Buffer { return s.tr }
+
+// Clock returns the system clock.
+func (s *System) Clock() ktime.Clock { return s.Kern.Clock() }
+
+// ProcConfig configures a spawned process.
+type ProcConfig struct {
+	// MaxAutoLWPs caps SIGWAITING-driven LWP pool growth.
+	MaxAutoLWPs int
+	// DisableSigwaiting disables automatic pool growth (ablation).
+	DisableSigwaiting bool
+	// DefaultStackSize overrides the default thread stack size.
+	DefaultStackSize int
+}
+
+// Proc is a running UNIX process: kernel process + address space +
+// descriptor table + threads runtime.
+type Proc struct {
+	Sys *System
+	RT  *core.Runtime
+	PF  *vfs.ProcFiles
+	AS  *vm.AddressSpace
+
+	proc *sim.Process
+}
+
+// Spawn creates a process whose main thread runs main(arg).
+func (s *System) Spawn(name string, main Func, arg any, cfg ProcConfig) (*Proc, error) {
+	kp := s.Kern.NewProcess(name, nil)
+	return s.buildProc(kp, main, arg, cfg, nil)
+}
+
+func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, initial *sim.LWP) (*Proc, error) {
+	p := &Proc{Sys: s, proc: kp}
+	if kp.Files == nil {
+		p.PF = vfs.NewProcFiles(s.FS, kp)
+	} else {
+		p.PF = vfs.Files(kp)
+	}
+	if kp.Mem == nil {
+		p.AS = vm.New(kp.AddFault)
+		kp.Mem = p.AS
+	} else {
+		p.AS = kp.Mem.(*vm.AddressSpace)
+		p.AS.SetFaultFn(kp.AddFault)
+	}
+	p.RT = core.NewRuntime(s.Kern, kp, core.Config{
+		Trace:             s.tr,
+		MaxAutoLWPs:       cfg.MaxAutoLWPs,
+		DisableSigwaiting: cfg.DisableSigwaiting,
+		DefaultStackSize:  cfg.DefaultStackSize,
+		InitialLWP:        initial,
+	})
+	// errno is the canonical unshared variable: register it before
+	// the first thread starts, as the run-time linker would.
+	if _, err := p.RT.RegisterUnshared(8); err == nil {
+		// reserved; Thread.Errno uses a dedicated slot, this
+		// models the TLS the C library would claim.
+		_ = err
+	}
+	if _, err := p.RT.Start(main, arg); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Process exposes the kernel process.
+func (p *Proc) Process() *sim.Process { return p.proc }
+
+// PID returns the process id.
+func (p *Proc) PID() sim.PID { return p.proc.PID() }
+
+// WaitExit blocks until the process has fully exited and returns its
+// status and killing signal (if any). This is the host-side Wait; for
+// a parent process waiting for a child from within the simulation use
+// Proc.WaitChild.
+func (p *Proc) WaitExit() (int, Signal) {
+	<-p.RT.Exited()
+	return p.proc.ExitStatus()
+}
+
+// Kill posts a signal to the process, like kill(2) from outside.
+func (p *Proc) Kill(sig Signal) error {
+	return p.Sys.Kern.PostSignal(p.proc, sig)
+}
+
+// SharedVar returns the process-shared synchronization variable
+// handle for the mapped object identity at the given virtual address
+// in this process's address space. Use it with the InitShared
+// initializers:
+//
+//	var mu mt.Mutex
+//	mu.InitShared(p.SharedVar(t, va))
+func (p *Proc) SharedVar(t *Thread, va int64) (*usync.Var, error) {
+	obj, off, err := p.AS.Resolve(va)
+	if err != nil {
+		return nil, err
+	}
+	return p.Sys.Reg.Var(obj, off), nil
+}
