@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5|6|0]
+//	mtbench [-n iterations] [-fig 5|6|0] [-json file]
+//
+// -json additionally writes the measured rows as a JSON document (see
+// BENCH_baseline.json for the committed reference run), so successive
+// runs can be diffed mechanically.
 //
 // The absolute numbers measure the simulation substrate on the host;
 // the reproduced result is the shape — which rows involve the kernel
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +26,40 @@ import (
 	"sunosmt/internal/benchkit"
 )
 
+// jsonRow is one benchmark row in the -json output.
+type jsonRow struct {
+	Figure  int     `json:"figure"`
+	Name    string  `json:"name"`
+	PaperUS float64 `json:"paper_us"`
+	PerOpUS float64 `json:"per_op_us"`
+	TotalNS int64   `json:"total_ns"`
+	Ops     int     `json:"ops"`
+}
+
+type jsonDoc struct {
+	Iterations int       `json:"iterations"`
+	Rows       []jsonRow `json:"rows"`
+}
+
+func toJSONRows(fig int, rows []benchkit.Row) []jsonRow {
+	out := make([]jsonRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, jsonRow{
+			Figure:  fig,
+			Name:    r.Name,
+			PaperUS: r.PaperUS,
+			PerOpUS: float64(r.PerOp().Nanoseconds()) / 1e3,
+			TotalNS: r.Measured.Nanoseconds(),
+			Ops:     r.Ops,
+		})
+	}
+	return out
+}
+
 func main() {
 	n := flag.Int("n", 20000, "iterations per measurement")
 	fig := flag.Int("fig", 0, "which figure to run (5 or 6; 0 = both)")
+	jsonPath := flag.String("json", "", "also write rows as JSON to this file (- for stdout)")
 	flag.Parse()
 
 	switch *fig {
@@ -32,13 +68,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6 or 0")
 		os.Exit(2)
 	}
+	doc := jsonDoc{Iterations: *n}
 	if *fig == 0 || *fig == 5 {
 		rows := benchkit.Figure5(*n)
 		fmt.Print(benchkit.FormatTable("Figure 5: Thread creation time", rows))
 		fmt.Println()
+		doc.Rows = append(doc.Rows, toJSONRows(5, rows)...)
 	}
 	if *fig == 0 || *fig == 6 {
 		rows := benchkit.Figure6(*n)
 		fmt.Print(benchkit.FormatTable("Figure 6: Thread synchronization time", rows))
+		doc.Rows = append(doc.Rows, toJSONRows(6, rows)...)
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtbench:", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mtbench:", err)
+			os.Exit(1)
+		}
 	}
 }

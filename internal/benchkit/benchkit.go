@@ -23,11 +23,14 @@ func noop(*mt.Thread, any) {}
 // UnboundCreate measures creating n unbound threads with a cached
 // default stack (the Figure 5 "Unbound thread create" row: creation
 // time only, no first context switch, no kernel involvement).
+//
+// Each thread gets its own stack from the library's cache: thread
+// local storage is carved from the top of the stack, so handing every
+// thread the same caller-supplied slice would alias their TLS.
 func UnboundCreate(n int) time.Duration {
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
 	var elapsed time.Duration
 	done := make(chan struct{})
-	stack := make([]byte, 4096) // cached/supplied stack, as in the paper's setup
 	var p *mt.Proc
 	var err error
 	p, err = sys.Spawn("bench", func(t *mt.Thread, _ any) {
@@ -38,7 +41,7 @@ func UnboundCreate(n int) time.Duration {
 			k := min(batch, remaining)
 			start := time.Now()
 			for i := 0; i < k; i++ {
-				if _, err := r.Create(noop, nil, mt.CreateOpts{Stack: stack}); err != nil {
+				if _, err := r.Create(noop, nil, mt.CreateOpts{}); err != nil {
 					panic(err)
 				}
 			}
@@ -50,7 +53,7 @@ func UnboundCreate(n int) time.Duration {
 				t.Yield()
 			}
 		}
-	}, nil, mt.ProcConfig{})
+	}, nil, mt.ProcConfig{DefaultStackSize: 4096})
 	if err != nil {
 		panic(err)
 	}
@@ -66,7 +69,6 @@ func BoundCreate(n int) time.Duration {
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
 	var elapsed time.Duration
 	done := make(chan struct{})
-	stack := make([]byte, 4096)
 	var p *mt.Proc
 	var err error
 	p, err = sys.Spawn("bench", func(t *mt.Thread, _ any) {
@@ -79,7 +81,6 @@ func BoundCreate(n int) time.Duration {
 			start := time.Now()
 			for i := 0; i < k; i++ {
 				c, err := r.Create(noop, nil, mt.CreateOpts{
-					Stack: stack,
 					Flags: mt.ThreadWait | mt.ThreadBindLWP,
 				})
 				if err != nil {
@@ -93,7 +94,7 @@ func BoundCreate(n int) time.Duration {
 				t.Wait(c.ID())
 			}
 		}
-	}, nil, mt.ProcConfig{})
+	}, nil, mt.ProcConfig{DefaultStackSize: 4096})
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,304 @@
+// Package chaos is a seeded, deterministic fault-injection and
+// schedule-exploration source for the simulated kernel and the threads
+// library.
+//
+// The paper's correctness claims — per-thread signal masks, SIGWAITING
+// pool growth, locks in shared mappings surviving fork — are claims
+// about *all* interleavings, but a unit test exercises exactly one
+// schedule per run. A chaos.Source perturbs every decision point the
+// substrate exposes (forced preemption, dispatch pick order, wakeup
+// order, spurious wakeups, injected EINTR, early SIGWAITING, timer
+// jitter) so a sweep over seeds searches the schedule space, and any
+// failure reproduces from its seed alone.
+//
+// # Determinism
+//
+// Every decision is a pure function of (seed, site name, per-site
+// counter): the n-th query at a given site always answers the same
+// way for a given seed, no matter how host goroutines are scheduled.
+// Wall-clock time and math/rand are never consulted. Fired decisions
+// are recorded in an event journal (a trace.Buffer with zero
+// timestamps), so two runs of the same seed over the same workload
+// produce byte-identical journals; a failing seed prints as a
+// replayable -chaos.seed=N.
+//
+// # Safety
+//
+// Perturbations are chosen from the safe direction of each decision:
+// dispatch reordering picks a different *eligible* runnable LWP (a CPU
+// is never left idle while work exists), SIGWAITING is posted early
+// (never suppressed), spurious wakeups are injected only at sites
+// whose callers loop (Mesa semantics), and EINTR only on sleeps the
+// caller declared interruptible. A nil *Source is valid and injects
+// nothing, so hook sites need no nil checks.
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"sunosmt/internal/trace"
+)
+
+// Config sets the seed and the per-site firing rates of a Source.
+// Rates are per-mille (0–1000); zero disables a site.
+type Config struct {
+	// Seed selects the schedule; the same seed over the same
+	// workload replays the same decisions.
+	Seed uint64
+
+	// Preempt forces an on-CPU LWP to release its processor at a
+	// kernel checkpoint, as if its time slice expired.
+	Preempt int
+	// ThreadPreempt forces an unbound thread back onto the library
+	// run queue at a thread checkpoint, handing its LWP to another
+	// runnable thread.
+	ThreadPreempt int
+	// PickReorder makes the kernel dispatcher pick a different
+	// eligible runnable LWP than the best-priority one, delaying
+	// the best LWP's dispatch.
+	PickReorder int
+	// RunqReorder makes the library dispatcher pop a different
+	// runnable thread than the best-priority one.
+	RunqReorder int
+	// WakeReorder wakes a non-head LWP from a kernel sleep queue,
+	// breaking the FIFO wakeup order.
+	WakeReorder int
+	// SpuriousWakeup makes a thread-level park at a synchronization
+	// primitive return immediately, as condition variables are
+	// allowed to.
+	SpuriousWakeup int
+	// EINTR fails an interruptible kernel sleep with a spurious
+	// signal interruption.
+	EINTR int
+	// Sigwaiting posts SIGWAITING before the true all-LWPs-blocked
+	// condition holds, randomizing the pool-growth timing.
+	Sigwaiting int
+	// TimerJitter perturbs AfterFunc durations (through a
+	// ktime.Jittered clock) by up to MaxTimerJitter in either
+	// direction.
+	TimerJitter    int
+	MaxTimerJitter time.Duration
+
+	// JournalCapacity bounds the event journal (default 4096).
+	JournalCapacity int
+}
+
+// DefaultConfig returns the rates used by the chaos test sweeps:
+// every site enabled, tuned so a few hundred scheduling operations see
+// a handful of perturbations of each kind.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:           seed,
+		Preempt:        100,
+		ThreadPreempt:  150,
+		PickReorder:    150,
+		RunqReorder:    150,
+		WakeReorder:    250,
+		SpuriousWakeup: 100,
+		EINTR:          60,
+		Sigwaiting:     25,
+		TimerJitter:    200,
+		MaxTimerJitter: time.Millisecond,
+	}
+}
+
+// Source issues deterministic perturbation decisions. A nil *Source
+// never fires. One Source must not be shared between systems whose
+// journals are compared: the journal interleaves all sites.
+type Source struct {
+	cfg Config
+
+	mu       sync.Mutex
+	counters map[string]uint64
+	journal  *trace.Buffer
+}
+
+// New returns a Source with the given configuration.
+func New(cfg Config) *Source {
+	if cfg.JournalCapacity <= 0 {
+		cfg.JournalCapacity = 4096
+	}
+	return &Source{
+		cfg:      cfg,
+		counters: make(map[string]uint64),
+		// nil now: journal events carry zero timestamps, so two
+		// runs of one seed compare equal event-for-event.
+		journal: trace.New(cfg.JournalCapacity, nil),
+	}
+}
+
+// Enabled reports whether the source injects anything (false for nil).
+func (s *Source) Enabled() bool { return s != nil }
+
+// Seed returns the configured seed (0 for nil).
+func (s *Source) Seed() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.cfg.Seed
+}
+
+// Journal returns the event journal of fired decisions (nil for nil).
+func (s *Source) Journal() *trace.Buffer {
+	if s == nil {
+		return nil
+	}
+	return s.journal
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// well-distributed bijection on 64-bit values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// siteHash is FNV-1a over the site name.
+func siteHash(site string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rollLocked draws the next value for site: a pure function of (seed,
+// site, per-site counter), independent of host timing.
+func (s *Source) rollLocked(site string) uint64 {
+	n := s.counters[site]
+	s.counters[site] = n + 1
+	return splitmix64(s.cfg.Seed ^ siteHash(site) ^ (n * 0x9e3779b97f4a7c15))
+}
+
+// fire decides a boolean site and journals a hit.
+func (s *Source) fire(site string, permille int) bool {
+	if s == nil || permille <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	h := s.rollLocked(site)
+	hit := h%1000 < uint64(permille)
+	if hit {
+		s.journal.Add("chaos", "%s", site)
+	}
+	s.mu.Unlock()
+	return hit
+}
+
+// choose decides an index site: -1 means "no perturbation", otherwise
+// an index in [0, n).
+func (s *Source) choose(site string, n, permille int) int {
+	if s == nil || permille <= 0 || n <= 1 {
+		return -1
+	}
+	s.mu.Lock()
+	h := s.rollLocked(site)
+	if h%1000 >= uint64(permille) {
+		s.mu.Unlock()
+		return -1
+	}
+	idx := int((h >> 32) % uint64(n))
+	s.journal.Add("chaos", "%s idx=%d/%d", site, idx, n)
+	s.mu.Unlock()
+	return idx
+}
+
+// Preempt reports whether an on-CPU LWP should be forced off its
+// processor at this kernel checkpoint.
+func (s *Source) Preempt() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("sim.preempt", s.cfg.Preempt)
+}
+
+// ThreadPreempt reports whether an unbound thread should be forced
+// back onto the library run queue at this thread checkpoint.
+func (s *Source) ThreadPreempt() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("core.preempt", s.cfg.ThreadPreempt)
+}
+
+// PickReorder returns the index of the eligible runnable LWP the
+// kernel dispatcher should pick instead of the best one, or -1 to keep
+// the best. n is the number of eligible candidates.
+func (s *Source) PickReorder(n int) int {
+	if s == nil {
+		return -1
+	}
+	return s.choose("sim.pick", n, s.cfg.PickReorder)
+}
+
+// RunqReorder returns the index of the queued thread the library
+// dispatcher should pop instead of the best one, or -1.
+func (s *Source) RunqReorder(n int) int {
+	if s == nil {
+		return -1
+	}
+	return s.choose("core.runq", n, s.cfg.RunqReorder)
+}
+
+// WakeReorder returns the index of the sleep-queue waiter to wake
+// instead of the FIFO head, or -1.
+func (s *Source) WakeReorder(n int) int {
+	if s == nil {
+		return -1
+	}
+	return s.choose("sim.wake", n, s.cfg.WakeReorder)
+}
+
+// SpuriousWakeup reports whether a thread-level park should return
+// immediately without a real wake.
+func (s *Source) SpuriousWakeup() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("tsync.spurious", s.cfg.SpuriousWakeup)
+}
+
+// EINTR reports whether an interruptible kernel sleep should fail with
+// a spurious interruption.
+func (s *Source) EINTR() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("sim.eintr", s.cfg.EINTR)
+}
+
+// Sigwaiting reports whether SIGWAITING should be posted early, before
+// the all-LWPs-blocked condition truly holds.
+func (s *Source) Sigwaiting() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("sim.sigwaiting", s.cfg.Sigwaiting)
+}
+
+// Jitter perturbs a timer duration by up to ±MaxTimerJitter, never
+// below one nanosecond. ktime.Jittered calls it for every AfterFunc.
+func (s *Source) Jitter(d time.Duration) time.Duration {
+	if s == nil || s.cfg.TimerJitter <= 0 || s.cfg.MaxTimerJitter <= 0 || d <= 0 {
+		return d
+	}
+	s.mu.Lock()
+	h := s.rollLocked("ktime.jitter")
+	if h%1000 >= uint64(s.cfg.TimerJitter) {
+		s.mu.Unlock()
+		return d
+	}
+	span := int64(s.cfg.MaxTimerJitter)
+	delta := time.Duration(int64((h>>32)%uint64(2*span+1)) - span)
+	nd := d + delta
+	if nd < time.Nanosecond {
+		nd = time.Nanosecond
+	}
+	s.journal.Add("chaos", "ktime.jitter %v -> %v", d, nd)
+	s.mu.Unlock()
+	return nd
+}

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sunosmt/internal/chaos"
 	"sunosmt/internal/sim"
 	"sunosmt/internal/trace"
 )
@@ -150,6 +151,11 @@ func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
 
 // Kernel returns the kernel under this runtime.
 func (m *Runtime) Kernel() *sim.Kernel { return m.kern }
+
+// ChaosSource returns the kernel's chaos source (nil when chaos is not
+// configured); the library and the synchronization primitives draw
+// their perturbation decisions from it.
+func (m *Runtime) ChaosSource() *chaos.Source { return m.kern.Chaos() }
 
 // Process returns the kernel process this runtime manages.
 func (m *Runtime) Process() *sim.Process { return m.proc }
@@ -301,7 +307,7 @@ func (m *Runtime) nextThread(pl *poolLWP) *Thread {
 			m.mu.Unlock()
 			return nil
 		}
-		if t := m.runq.pop(); t != nil {
+		if t := m.runq.pop(m.kern.Chaos()); t != nil {
 			m.mu.Unlock()
 			return t
 		}

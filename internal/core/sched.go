@@ -1,6 +1,9 @@
 package core
 
-import "sunosmt/internal/sim"
+import (
+	"sunosmt/internal/chaos"
+	"sunosmt/internal/sim"
+)
 
 // This file holds the user-level run queue and the thread execution
 // control interfaces: thread_wait, thread_stop, thread_continue,
@@ -17,8 +20,10 @@ func (r *runQueue) len() int { return len(r.q) }
 func (r *runQueue) push(t *Thread) { r.q = append(r.q, t) }
 
 // pop removes and returns the highest-priority thread (FIFO among
-// equals), or nil.
-func (r *runQueue) pop() *Thread {
+// equals), or nil. A chaos source (nil when disabled) may pick a
+// different queued thread, exploring dispatch orders the priority rule
+// would not produce; the passed-over thread stays queued.
+func (r *runQueue) pop(src *chaos.Source) *Thread {
 	best := -1
 	for i, t := range r.q {
 		if best < 0 || t.prio > r.q[best].prio {
@@ -27,6 +32,9 @@ func (r *runQueue) pop() *Thread {
 	}
 	if best < 0 {
 		return nil
+	}
+	if alt := src.RunqReorder(len(r.q)); alt >= 0 {
+		best = alt
 	}
 	t := r.q[best]
 	r.q = append(r.q[:best], r.q[best+1:]...)

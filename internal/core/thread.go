@@ -463,6 +463,13 @@ func (t *Thread) parkSelf(state ThreadState) {
 	pl := t.lwp
 	t.state = state
 	t.lwp = nil
+	if pl != nil && pl.cur == t {
+		// Release the dispatcher's claim now, not when it next runs:
+		// if this thread is re-dispatched elsewhere and exits before
+		// pl's dispatcher drains back, a stale pl.cur would make
+		// releaseOnUnwind hand the exit token to the wrong LWP.
+		pl.cur = nil
+	}
 	m.mu.Unlock()
 	if state == ThreadStopped {
 		t.noteStopped()
@@ -554,6 +561,9 @@ func (t *Thread) Yield() {
 		m.runq.push(t)
 		pl := t.lwp
 		t.lwp = nil
+		if pl != nil && pl.cur == t {
+			pl.cur = nil // see parkSelf: avoid a stale dispatcher claim
+		}
 		m.mu.Unlock()
 		yieldLWP(pl)
 		<-t.gate
@@ -580,6 +590,12 @@ func (t *Thread) Checkpoint() {
 	m.mu.Unlock()
 	if stop {
 		t.parkSelf(ThreadStopped)
+	}
+	// Chaos: force the thread back onto the run queue as if a
+	// higher-priority thread had flagged it; the branch below only
+	// switches when another thread is actually runnable.
+	if !preempt && !t.bound() && m.kern.Chaos().ThreadPreempt() {
+		preempt = true
 	}
 	if preempt && !t.bound() {
 		m.mu.Lock()

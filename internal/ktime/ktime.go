@@ -183,3 +183,32 @@ func Sleep(c Clock, d time.Duration) {
 	c.AfterFunc(d, func() { close(ch) })
 	<-ch
 }
+
+// Jittered wraps a Clock so that every AfterFunc duration is passed
+// through a perturbation function before arming. Now is unperturbed:
+// only the firing time of timers moves, which is how the chaos layer
+// randomizes timeout and time-slice arrival without breaking monotonic
+// time. A nil jitter function makes the wrapper transparent.
+type Jittered struct {
+	base   Clock
+	jitter func(time.Duration) time.Duration
+}
+
+// NewJittered wraps base with the given duration perturbation.
+func NewJittered(base Clock, jitter func(time.Duration) time.Duration) *Jittered {
+	return &Jittered{base: base, jitter: jitter}
+}
+
+// Base returns the wrapped clock.
+func (j *Jittered) Base() Clock { return j.base }
+
+// Now implements Clock.
+func (j *Jittered) Now() time.Duration { return j.base.Now() }
+
+// AfterFunc implements Clock, perturbing d.
+func (j *Jittered) AfterFunc(d time.Duration, fn func()) Timer {
+	if j.jitter != nil {
+		d = j.jitter(d)
+	}
+	return j.base.AfterFunc(d, fn)
+}

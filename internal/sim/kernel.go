@@ -45,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"sunosmt/internal/chaos"
 	"sunosmt/internal/ktime"
 	"sunosmt/internal/trace"
 )
@@ -82,6 +83,10 @@ type Config struct {
 	// costs a multiple of user-level unbound synchronization, as in
 	// the paper's Figure 6.
 	KernelSwitchCost time.Duration
+	// Chaos, if non-nil, perturbs scheduling decisions (forced
+	// preemption, dispatch pick order, wakeup order, injected
+	// EINTR, early SIGWAITING) deterministically from its seed.
+	Chaos *chaos.Source
 }
 
 // Default simulated kernel path lengths (see Config).
@@ -105,6 +110,7 @@ type Kernel struct {
 	cfg   Config
 	clock ktime.Clock
 	tr    *trace.Buffer
+	chaos *chaos.Source
 
 	cpus     []*CPU
 	runnable []*LWP
@@ -161,6 +167,7 @@ func NewKernel(cfg Config) *Kernel {
 		cfg:   cfg,
 		clock: cfg.Clock,
 		tr:    cfg.Trace,
+		chaos: cfg.Chaos,
 		procs: make(map[PID]*Process),
 	}
 	for i := 0; i < cfg.NCPU; i++ {
@@ -177,6 +184,11 @@ func (k *Kernel) NCPU() int { return len(k.cpus) }
 
 // Trace returns the kernel trace buffer (may be nil).
 func (k *Kernel) Trace() *trace.Buffer { return k.tr }
+
+// Chaos returns the kernel's chaos source (nil when not configured).
+// The threads library and synchronization layer share it so every
+// perturbation draws from one deterministic decision stream.
+func (k *Kernel) Chaos() *chaos.Source { return k.chaos }
 
 // AddForkHook registers fn to run whenever a process forks. Hooks run
 // after the kernel-side duplication, without kernel locks held.
@@ -352,9 +364,20 @@ func (k *Kernel) pickForLocked(c *CPU) *LWP {
 	gangs := k.onCPUGangsLocked()
 	best := -1
 	bestPrio := -1
+	// Under chaos, collect every eligible candidate so the source
+	// can dispatch a non-best LWP (delaying the best one). The CPU
+	// is still always given to *some* eligible LWP, so perturbation
+	// never idles a processor while work exists; the passed-over
+	// LWP stays runnable and preemptCheckLocked reclaims a CPU for
+	// it promptly.
+	var eligible []int
+	collect := k.chaos.Enabled()
 	for i, l := range k.runnable {
 		if l.boundCPU != nil && l.boundCPU != c {
 			continue
+		}
+		if collect {
+			eligible = append(eligible, i)
 		}
 		prio := l.globalPrio()
 		if l.gang != 0 && gangs[l.gang] {
@@ -370,6 +393,9 @@ func (k *Kernel) pickForLocked(c *CPU) *LWP {
 	}
 	if best < 0 {
 		return nil
+	}
+	if alt := k.chaos.PickReorder(len(eligible)); alt >= 0 {
+		best = eligible[alt]
 	}
 	l := k.runnable[best]
 	k.runnable = append(k.runnable[:best], k.runnable[best+1:]...)
@@ -542,7 +568,10 @@ func (k *Kernel) checkpointLocked(l *LWP) {
 	}
 	slice := k.cfg.TimeSlice
 	expired := slice > 0 && k.clock.Now()-l.onCPUSince >= slice && len(k.runnable) > 0
-	if l.preempt || expired {
+	// Chaos: force a preemption as if the slice expired, so the
+	// dispatcher re-decides who runs here.
+	forced := l.state == LWPOnCPU && k.chaos.Preempt()
+	if l.preempt || expired || forced {
 		k.chargeLocked(l)
 		k.releaseCPULocked(l, LWPRunnable)
 		k.runnable = append(k.runnable, l)

@@ -73,7 +73,11 @@ func (k *Kernel) SleepIf(l *LWP, wq *WaitQ, cond func() bool, o SleepOpts) (Wake
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.checkpointLocked(l)
-	if o.Interruptible && k.deliverableLocked(l) != 0 {
+	// Chaos: an interruptible sleep may fail with EINTR even though
+	// no signal is pending, as real kernels are permitted to do.
+	// Injection happens only at sites whose callers declared the
+	// sleep interruptible, so every caller already handles EINTR.
+	if o.Interruptible && (k.deliverableLocked(l) != 0 || k.chaos.EINTR()) {
 		return WakeInterrupted, false
 	}
 	if cond != nil && !cond() {
@@ -91,6 +95,14 @@ func (k *Kernel) SleepIf(l *LWP, wq *WaitQ, cond func() bool, o SleepOpts) (Wake
 		l.indefinite = true
 		p.indefSleepers++
 		k.maybeSigwaitingLocked(p)
+		// Chaos: randomize SIGWAITING timing by posting it early,
+		// before the true all-LWPs-blocked condition holds. Early
+		// posts are the safe direction: the library's growth hook
+		// re-checks whether more LWPs are actually needed, while a
+		// delayed post could deadlock the pool.
+		if k.chaos.Sigwaiting() {
+			k.postSignalLocked(p, SIGWAITING, nil)
+		}
 	}
 	if o.Timeout > 0 {
 		ll := l
@@ -153,7 +165,14 @@ func (k *Kernel) wakeupLocked(wq *WaitQ, n int) int {
 	}
 	count := 0
 	for count < n && len(wq.waiters) > 0 {
-		l := wq.waiters[0]
+		// Chaos: wake a non-head waiter, breaking FIFO order. Any
+		// queued LWP is a legitimate wake target; callers built on
+		// sleep queues re-check their condition after waking.
+		i := 0
+		if alt := k.chaos.WakeReorder(len(wq.waiters)); alt > 0 {
+			i = alt
+		}
+		l := wq.waiters[i]
 		k.wakeLWPLocked(l, WakeNormal)
 		count++
 	}

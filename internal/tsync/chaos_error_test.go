@@ -1,0 +1,152 @@
+package tsync
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sunosmt/internal/chaos"
+	"sunosmt/internal/core"
+	"sunosmt/internal/sim"
+	"sunosmt/internal/usync"
+)
+
+// Error-path tests run under schedule perturbation: each case is
+// swept across a dozen chaos seeds so the error detection does not
+// depend on one lucky interleaving.
+
+const errSeeds = 12
+
+// newChaosWorld is newWorld with a seeded chaos source perturbing the
+// kernel. Switch costs are disabled so seed sweeps stay fast.
+func newChaosWorld(ncpu int, seed uint64) *world {
+	k := sim.NewKernel(sim.Config{
+		NCPU:             ncpu,
+		LWPCreateCost:    -1,
+		KernelSwitchCost: -1,
+		Chaos:            chaos.New(chaos.DefaultConfig(seed)),
+	})
+	return &world{k: k, reg: usync.NewRegistry(k)}
+}
+
+// recovered runs f and reports the panic message it raised ("" if
+// none).
+func recovered(f func()) (msg string) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg = fmt.Sprint(r)
+		}
+	}()
+	f()
+	return ""
+}
+
+func TestChaosECMutexRecursiveEnter(t *testing.T) {
+	for seed := uint64(1); seed <= errSeeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := newChaosWorld(2, seed)
+			var mu Mutex
+			mu.Init(VariantErrorCheck)
+			var msg string
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				mu.Enter(self)
+				msg = recovered(func() { mu.Enter(self) })
+				mu.Exit(self)
+			})
+			waitRT(t, m)
+			if !strings.Contains(msg, "recursive mutex_enter") {
+				t.Fatalf("recursive enter not detected; panic = %q", msg)
+			}
+		})
+	}
+}
+
+func TestChaosECMutexWrongOwnerExit(t *testing.T) {
+	for seed := uint64(1); seed <= errSeeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := newChaosWorld(2, seed)
+			var mu Mutex
+			mu.Init(VariantErrorCheck)
+			var msg string
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				r := self.Runtime()
+				r.SetConcurrency(2)
+				mu.Enter(self)
+				c, _ := r.Create(func(c *core.Thread, _ any) {
+					msg = recovered(func() { mu.Exit(c) })
+				}, nil, core.CreateOpts{Flags: core.ThreadWait})
+				self.Wait(c.ID())
+				mu.Exit(self)
+			})
+			waitRT(t, m)
+			if !strings.Contains(msg, "not held by the thread") {
+				t.Fatalf("wrong-owner exit not detected; panic = %q", msg)
+			}
+		})
+	}
+}
+
+func TestChaosRWTryUpgradeContention(t *testing.T) {
+	for seed := uint64(1); seed <= errSeeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := newChaosWorld(2, seed)
+			var rw RWLock
+			var contended, sole bool
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				r := self.Runtime()
+				r.SetConcurrency(2)
+				rw.Enter(self, RWReader)
+				c, _ := r.Create(func(c *core.Thread, _ any) {
+					rw.Enter(c, RWReader)
+					// Two readers hold the lock: the upgrade must
+					// fail no matter how the schedule is perturbed.
+					contended = rw.TryUpgrade(c)
+					rw.Exit(c)
+				}, nil, core.CreateOpts{Flags: core.ThreadWait})
+				self.Wait(c.ID())
+				// Sole remaining reader: the upgrade must succeed.
+				sole = rw.TryUpgrade(self)
+				rw.Exit(self)
+			})
+			waitRT(t, m)
+			if contended {
+				t.Fatal("TryUpgrade succeeded with two readers holding the lock")
+			}
+			if !sole {
+				t.Fatal("TryUpgrade failed for the sole reader")
+			}
+		})
+	}
+}
+
+func TestChaosSemaTryPZero(t *testing.T) {
+	for seed := uint64(1); seed <= errSeeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			w := newChaosWorld(2, seed)
+			var sp Sema
+			sp.Init(1)
+			var onZero, afterV bool
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				sp.P(self)
+				onZero = sp.TryP(self) // count is 0: must fail, not block
+				sp.V(self)
+				afterV = sp.TryP(self) // count is 1 again: must succeed
+				sp.V(self)
+			})
+			waitRT(t, m)
+			if onZero {
+				t.Fatal("TryP succeeded on a zero semaphore")
+			}
+			if !afterV {
+				t.Fatal("TryP failed after V restored the count")
+			}
+			if c := sp.Count(); c != 1 {
+				t.Fatalf("final count = %d, want 1", c)
+			}
+		})
+	}
+}

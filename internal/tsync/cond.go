@@ -43,7 +43,11 @@ func (cv *Cond) Wait(t *core.Thread, mp *Mutex) {
 	cv.waiters.push(t)
 	cv.mu.Unlock()
 	mp.Exit(t)
-	t.Park()
+	if chaosOf(t).SpuriousWakeup() {
+		t.Checkpoint() // chaos: spurious wakeup, park elided
+	} else {
+		t.Park()
+	}
 	// Deregister in case the wake was a permit consumed elsewhere
 	// (stop/continue interleavings); harmless if already popped.
 	cv.mu.Lock()

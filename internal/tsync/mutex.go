@@ -77,6 +77,16 @@ func (mp *Mutex) Enter(t *core.Thread) {
 		// release-side unpark race-free.
 		mp.waiters.push(t)
 		mp.mu.Unlock()
+		if chaosOf(t).SpuriousWakeup() {
+			// Chaos: the park returns with no real wake.
+			// Deregister (a real wake would have popped us)
+			// and re-contend.
+			mp.mu.Lock()
+			mp.waiters.remove(t)
+			mp.mu.Unlock()
+			t.Checkpoint()
+			continue
+		}
 		t.Park()
 		// Loop: mutex may have been stolen by a barger; Mesa
 		// semantics, as with real adaptive locks.

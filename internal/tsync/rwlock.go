@@ -65,7 +65,11 @@ func (rw *RWLock) Enter(t *core.Thread, typ RWType) {
 			rw.rq.push(t)
 		}
 		rw.mu.Unlock()
-		t.Park()
+		if chaosOf(t).SpuriousWakeup() {
+			t.Checkpoint() // chaos: spurious wakeup, park elided
+		} else {
+			t.Park()
+		}
 		rw.mu.Lock()
 		if typ == RWWriter {
 			if rw.wq.remove(t) {

@@ -63,7 +63,11 @@ func (sp *Sema) P(t *core.Thread) {
 		}
 		sp.waiters.push(t)
 		sp.mu.Unlock()
-		t.Park()
+		if chaosOf(t).SpuriousWakeup() {
+			t.Checkpoint() // chaos: spurious wakeup, park elided
+		} else {
+			t.Park()
+		}
 		// Mesa semantics: re-check; a barger may have taken the
 		// count.
 		sp.mu.Lock()

@@ -28,6 +28,7 @@ package tsync
 import (
 	"sync"
 
+	"sunosmt/internal/chaos"
 	"sunosmt/internal/core"
 )
 
@@ -96,3 +97,10 @@ func (w *waitq) popAll() []*core.Thread {
 }
 
 var _ = sync.Mutex{} // the word lock type used by the primitives
+
+// chaosOf returns the chaos source perturbing t's system (nil — and
+// so inert — when chaos is disabled). Spurious wakeups are injected
+// only at the park sites in this package because every one of them
+// sits in a Mesa-style re-check loop; kernel sleep sites do not all
+// tolerate a WakeNormal without the awaited event.
+func chaosOf(t *core.Thread) *chaos.Source { return t.Runtime().ChaosSource() }

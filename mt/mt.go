@@ -27,6 +27,7 @@ package mt
 import (
 	"time"
 
+	"sunosmt/internal/chaos"
 	"sunosmt/internal/core"
 	"sunosmt/internal/ktime"
 	"sunosmt/internal/sim"
@@ -163,6 +164,36 @@ type Options struct {
 	// SignalOnAnyBlock turns on the paper's proposed "signals on
 	// faster events" variant of SIGWAITING (see internal/sim).
 	SignalOnAnyBlock bool
+	// LWPCreateCost and KernelSwitchCost override the simulated
+	// kernel path lengths (see internal/sim.Config). Zero selects
+	// the calibrated defaults; negative disables the simulated
+	// cost, which test sweeps use for speed.
+	LWPCreateCost    time.Duration
+	KernelSwitchCost time.Duration
+	// Chaos, if non-nil, deterministically perturbs the system from
+	// its seed: forced preemptions at preemption points, dispatch
+	// and run-queue pick reordering, kernel wakeup reordering,
+	// spurious wakeups at library park sites, injected EINTR on
+	// interruptible kernel sleeps, early SIGWAITING, and timer
+	// jitter. Same seed, same machine, same workload structure —
+	// same decision sequence; Chaos.Journal() records every
+	// perturbation for replay. Build one with NewChaos or
+	// chaos.New.
+	Chaos *ChaosSource
+}
+
+// Chaos re-exports: seeded schedule exploration and fault injection.
+type (
+	// ChaosSource is a seeded deterministic perturbation source.
+	ChaosSource = chaos.Source
+	// ChaosConfig tunes per-site injection rates (per mille).
+	ChaosConfig = chaos.Config
+)
+
+// NewChaos returns a chaos source with the default injection rates
+// for the given seed.
+func NewChaos(seed uint64) *ChaosSource {
+	return chaos.New(chaos.DefaultConfig(seed))
 }
 
 // System is one simulated machine: CPUs, kernel, file system, and the
@@ -177,18 +208,23 @@ type System struct {
 // NewSystem boots a machine.
 func NewSystem(o Options) *System {
 	var tr *trace.Buffer
+	clk := o.Clock
+	if clk == nil {
+		clk = ktime.NewReal()
+	}
+	if o.Chaos != nil && o.Chaos.Enabled() {
+		clk = ktime.NewJittered(clk, o.Chaos.Jitter)
+	}
 	cfg := sim.Config{
 		NCPU:             o.NCPU,
-		Clock:            o.Clock,
+		Clock:            clk,
 		TimeSlice:        o.TimeSlice,
 		SignalOnAnyBlock: o.SignalOnAnyBlock,
+		LWPCreateCost:    o.LWPCreateCost,
+		KernelSwitchCost: o.KernelSwitchCost,
+		Chaos:            o.Chaos,
 	}
 	if o.TraceCapacity > 0 {
-		clk := o.Clock
-		if clk == nil {
-			clk = ktime.NewReal()
-			cfg.Clock = clk
-		}
 		tr = trace.New(o.TraceCapacity, clk.Now)
 		cfg.Trace = tr
 	}
