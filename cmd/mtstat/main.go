@@ -19,6 +19,7 @@ import (
 func main() {
 	ticks := flag.Int("ticks", 3, "number of /proc snapshots to print")
 	interval := flag.Duration("interval", 20*time.Millisecond, "snapshot interval")
+	locks := flag.Bool("locks", false, "also print /proc/<pid>/lstatus (lock wait-for edges and deadlocks)")
 	flag.Parse()
 
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
@@ -36,6 +37,14 @@ func main() {
 		r := t.Runtime()
 		r.SetConcurrency(2)
 		var ids []mt.ThreadID
+		// A held mutex with a waiter, so -locks has an edge to show.
+		var mu mt.Mutex
+		mu.Enter(t)
+		w, _ := r.Create(func(c *mt.Thread, _ any) {
+			mu.Enter(c)
+			mu.Exit(c)
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+		ids = append(ids, w.ID())
 		for i := 0; i < 4; i++ {
 			c, _ := r.Create(func(c *mt.Thread, _ any) {
 				for {
@@ -60,6 +69,16 @@ func main() {
 			}
 		}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
 		ids = append(ids, b.ID())
+		for {
+			select {
+			case <-stopCh:
+			default:
+				t.Yield()
+				continue
+			}
+			break
+		}
+		mu.Exit(t)
 		for _, id := range ids {
 			t.Wait(id)
 		}
@@ -85,8 +104,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			files := []string{"status", "lwps", "threads"}
+			if *locks {
+				files = append(files, "lstatus")
+			}
 			for _, pid := range pids {
-				for _, f := range []string{"status", "lwps", "threads"} {
+				for _, f := range files {
 					path := "/proc/" + pid + "/" + f
 					data, err := readFile(p, t, path)
 					if err != nil {

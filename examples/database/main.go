@@ -4,11 +4,20 @@
 // whatever virtual address they get), and threads lock individual
 // records to update them; the locks synchronize across processes, and
 // their state outlives any single process.
+//
+// The run also demonstrates recovery: one process is SIGKILLed in the
+// middle of a transfer — after the debit, before the credit — while
+// holding both record locks. The robust-lock sweep marks the orphaned
+// locks, the surviving processes acquire them with ErrOwnerDead and
+// MakeConsistent, and the audit shows exactly the one unit the
+// interrupted transaction destroyed.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync/atomic"
+	"time"
 
 	"sunosmt/mt"
 )
@@ -19,6 +28,40 @@ const (
 	dbPath     = "/tmp/bank.db"
 	perProcess = 2000
 )
+
+// recovered counts owner-dead locks the surviving workers repaired.
+var recovered atomic.Int64
+
+func adj(p *mt.Proc, t *mt.Thread, base int64, rec, delta int) error {
+	off := base + int64(rec*recordSize) + 128
+	var buf [8]byte
+	if err := p.MemRead(t, off, buf[:]); err != nil {
+		return err
+	}
+	v := int64(0)
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | int64(buf[i])
+	}
+	v += int64(delta)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return p.MemWrite(t, off, buf[:])
+}
+
+// enterRobust acquires a record lock with the robust protocol: a dead
+// owner's lock is repaired (the record's balance bytes are already
+// consistent — each adj writes whole values) and put back in service.
+func enterRobust(t *mt.Thread, l *mt.Mutex) {
+	switch err := l.EnterErr(t); err {
+	case nil:
+	case mt.ErrOwnerDead:
+		recovered.Add(1)
+		l.MakeConsistent(t)
+	default:
+		log.Fatalf("record lock: %v", err)
+	}
+}
 
 // transfer moves one unit from record a to record b under both record
 // locks (ordered by record number to avoid deadlock).
@@ -34,30 +77,14 @@ func transfer(p *mt.Proc, t *mt.Thread, base int64, a, b int) error {
 	if err != nil {
 		return err
 	}
-	la.Enter(t)
-	lb.Enter(t)
+	enterRobust(t, la)
+	enterRobust(t, lb)
 	defer la.Exit(t)
 	defer lb.Exit(t)
-	adj := func(rec, delta int) error {
-		off := base + int64(rec*recordSize) + 128
-		var buf [8]byte
-		if err := p.MemRead(t, off, buf[:]); err != nil {
-			return err
-		}
-		v := int64(0)
-		for i := 7; i >= 0; i-- {
-			v = v<<8 | int64(buf[i])
-		}
-		v += int64(delta)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		return p.MemWrite(t, off, buf[:])
-	}
-	if err := adj(a, -1); err != nil {
+	if err := adj(p, t, base, a, -1); err != nil {
 		return err
 	}
-	return adj(b, +1)
+	return adj(p, t, base, b, +1)
 }
 
 func worker(p *mt.Proc, base int64) mt.Func {
@@ -79,18 +106,56 @@ func worker(p *mt.Proc, base int64) mt.Func {
 func main() {
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
 
+	openDB := func(p *mt.Proc, t *mt.Thread) int64 {
+		fd, err := p.Open(t, dbPath, mt.OCreate|mt.ORdWr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := p.Mmap(t, 0, nRecords*recordSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return base
+	}
+
+	// Phase 1: a process dies mid-transfer — debit done, credit not,
+	// both record locks held.
+	var midTransfer atomic.Bool
+	vch := make(chan *mt.Proc, 1)
+	victim, err := sys.Spawn("dbvictim", func(t *mt.Thread, _ any) {
+		p := <-vch
+		base := openDB(p, t)
+		la, _ := p.SharedMutexAt(t, base+0*recordSize)
+		lb, _ := p.SharedMutexAt(t, base+1*recordSize)
+		la.Enter(t)
+		lb.Enter(t)
+		if err := adj(p, t, base, 0, -1); err != nil {
+			log.Fatal(err)
+		}
+		midTransfer.Store(true)
+		for {
+			t.Checkpoint() // killed here, locks held, credit never made
+		}
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vch <- victim
+	for !midTransfer.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	victim.Kill(mt.SIGKILL)
+	if _, sig := victim.WaitExit(); sig == mt.SIGKILL {
+		fmt.Println("victim killed mid-transfer holding record locks 0 and 1")
+	}
+
+	// Phase 2: surviving processes hammer the records; the first
+	// acquirers of the orphaned locks repair them.
 	spawn := func(name string, seed int) *mt.Proc {
 		ch := make(chan *mt.Proc, 1)
 		p, err := sys.Spawn(name, func(t *mt.Thread, _ any) {
 			p := <-ch
-			fd, err := p.Open(t, dbPath, mt.OCreate|mt.ORdWr)
-			if err != nil {
-				log.Fatal(err)
-			}
-			base, err := p.Mmap(t, 0, nRecords*recordSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
-			if err != nil {
-				log.Fatal(err)
-			}
+			base := openDB(p, t)
 			// Two worker threads per process hammer the records.
 			w1, _ := t.Runtime().Create(worker(p, base), seed, mt.CreateOpts{Flags: mt.ThreadWait})
 			w2, _ := t.Runtime().Create(worker(p, base), seed+7, mt.CreateOpts{Flags: mt.ThreadWait})
@@ -109,14 +174,14 @@ func main() {
 	p1.WaitExit()
 	p2.WaitExit()
 
-	// A third process audits: transfers conserve the total.
+	// A third process audits: completed transfers conserve the total,
+	// so the net balance equals exactly the victim's lost credit.
 	done := make(chan struct{})
 	ch := make(chan *mt.Proc, 1)
 	p3, err := sys.Spawn("auditor", func(t *mt.Thread, _ any) {
 		defer close(done)
 		p := <-ch
-		fd, _ := p.Open(t, dbPath, mt.ORdWr)
-		base, _ := p.Mmap(t, 0, nRecords*recordSize, mt.ProtRead|mt.ProtWrite, mt.MapShared, fd, 0)
+		base := openDB(p, t)
 		total := int64(0)
 		for r := 0; r < nRecords; r++ {
 			var buf [8]byte
@@ -127,8 +192,11 @@ func main() {
 			}
 			total += v
 		}
-		fmt.Printf("audit: %d records, net balance %d (want 0) after %d cross-process transfers\n",
+		fmt.Printf("audit: %d records, net balance %d after %d cross-process transfers\n",
 			nRecords, total, 2*2*perProcess)
+		fmt.Printf("       (want -1: the killed process debited without crediting)\n")
+		fmt.Printf("recovery: %d orphaned record locks repaired via ErrOwnerDead + MakeConsistent (want 2)\n",
+			recovered.Load())
 	}, nil, mt.ProcConfig{})
 	if err != nil {
 		log.Fatal(err)

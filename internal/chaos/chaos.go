@@ -79,6 +79,19 @@ type Config struct {
 	// direction.
 	TimerJitter    int
 	MaxTimerJitter time.Duration
+	// SweepReorder rotates the order in which the owner-death sweep
+	// visits the registered shared variables, exploring which
+	// waiters observe OWNERDEAD first.
+	SweepReorder int
+	// AgeOutEarly expires an idle pool LWP's age-out grace period
+	// immediately, exploring shrink/growth races. Early expiry is
+	// the safe direction: the retirement re-checks eligibility and
+	// the pool regrows on SIGWAITING.
+	AgeOutEarly int
+	// DetectReorder rotates the start-vertex order of a deadlock
+	// detection pass. Cycles found are order-independent; the site
+	// exercises the walk itself.
+	DetectReorder int
 
 	// JournalCapacity bounds the event journal (default 4096).
 	JournalCapacity int
@@ -100,6 +113,9 @@ func DefaultConfig(seed uint64) Config {
 		Sigwaiting:     25,
 		TimerJitter:    200,
 		MaxTimerJitter: time.Millisecond,
+		SweepReorder:   300,
+		AgeOutEarly:    150,
+		DetectReorder:  200,
 	}
 }
 
@@ -278,6 +294,34 @@ func (s *Source) Sigwaiting() bool {
 		return false
 	}
 	return s.fire("sim.sigwaiting", s.cfg.Sigwaiting)
+}
+
+// SweepReorder returns the index at which the owner-death sweep should
+// start its rotation over n registered variables, or -1 for the
+// sorted order.
+func (s *Source) SweepReorder(n int) int {
+	if s == nil {
+		return -1
+	}
+	return s.choose("usync.sweep", n, s.cfg.SweepReorder)
+}
+
+// AgeOutEarly reports whether an idle pool LWP's age-out grace period
+// should expire immediately instead of after the configured idle time.
+func (s *Source) AgeOutEarly() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("core.ageout", s.cfg.AgeOutEarly)
+}
+
+// DetectReorder returns the index at which a deadlock detection pass
+// should start its rotation over n wait-for vertices, or -1.
+func (s *Source) DetectReorder(n int) int {
+	if s == nil {
+		return -1
+	}
+	return s.choose("core.detect", n, s.cfg.DetectReorder)
 }
 
 // Jitter perturbs a timer duration by up to ±MaxTimerJitter, never

@@ -39,8 +39,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"sunosmt/internal/chaos"
+	"sunosmt/internal/ktime"
 	"sunosmt/internal/sim"
 	"sunosmt/internal/trace"
 )
@@ -66,6 +68,12 @@ type Config struct {
 	// single LWP. The process startup code then builds the initial
 	// thread.").
 	InitialLWP *sim.LWP
+	// LWPAgeTime retires a pool LWP that has sat idle this long —
+	// the shrink counterpart of SIGWAITING growth, so a burst of
+	// concurrency does not pin kernel resources forever. Zero
+	// disables aging. Aging applies only under automatic sizing
+	// (thread_setconcurrency 0) and never retires the last LWP.
+	LWPAgeTime time.Duration
 }
 
 // Runtime is the threads library instance for one process.
@@ -86,6 +94,7 @@ type Runtime struct {
 	pool     []*poolLWP // all pool LWPs
 	nparked  int
 	retiring int // pool LWPs asked to exit
+	agedOut  int // pool LWPs retired by idle aging (stats)
 
 	concurrency int // thread_setconcurrency target; 0 = automatic
 
@@ -105,10 +114,11 @@ type Runtime struct {
 
 // poolLWP is one LWP dedicated to running unbound threads.
 type poolLWP struct {
-	l    *sim.LWP
-	back chan struct{} // current thread returns control here
-	cur  *Thread       // guarded by Runtime.mu
-	die  bool          // retire at next dispatch point; guarded by mu
+	l       *sim.LWP
+	back    chan struct{} // current thread returns control here
+	cur     *Thread       // guarded by Runtime.mu
+	die     bool          // retire at next dispatch point; guarded by mu
+	counted bool          // counted in Runtime.retiring; guarded by mu
 }
 
 // allSigs is the fully-blocked mask installed on idle pool LWPs so
@@ -262,6 +272,10 @@ func (m *Runtime) poolLoop(pl *poolLWP) {
 		}
 		m.kern.ExitLWP(pl.l)
 		m.mu.Lock()
+		if pl.counted {
+			pl.counted = false
+			m.retiring--
+		}
 		m.removePoolLocked(pl)
 		m.mu.Unlock()
 		m.sweepIfDying()
@@ -314,11 +328,26 @@ func (m *Runtime) nextThread(pl *poolLWP) *Thread {
 		m.idle = append(m.idle, pl)
 		m.nparked++
 		m.mu.Unlock()
+		// Arm the idle age-out timer: an LWP that finds no work for
+		// LWPAgeTime is retired (ageOut re-checks eligibility under
+		// the lock, so a racing enqueue always wins). Chaos can
+		// expire the grace period immediately — early expiry is the
+		// safe direction, since SIGWAITING regrows the pool.
+		var ageTimer ktime.Timer
+		if d := m.cfg.LWPAgeTime; d > 0 {
+			if m.kern.Chaos().AgeOutEarly() {
+				d = time.Nanosecond
+			}
+			ageTimer = m.kern.Clock().AfterFunc(d, func() { m.ageOut(pl) })
+		}
 		// Idle LWPs mask everything: an interrupt must be routed
 		// to an LWP that is executing a thread with the signal
 		// unmasked, never to an idle dispatcher.
 		m.kern.SetLWPMask(pl.l, sim.SigSetMask, allSigs)
 		m.kern.Park(pl.l)
+		if ageTimer != nil {
+			ageTimer.Stop()
+		}
 		m.mu.Lock()
 		m.nparked--
 		// We may still be on the idle list if the unpark came
@@ -331,6 +360,42 @@ func (m *Runtime) nextThread(pl *poolLWP) *Thread {
 		}
 		m.mu.Unlock()
 	}
+}
+
+// ageOut retires pl if it is still idle when its age timer fires. It
+// removes pl from the idle list before unparking so a concurrent
+// enqueue can never hand work to a dying LWP (no lost wakeups).
+func (m *Runtime) ageOut(pl *poolLWP) {
+	m.mu.Lock()
+	idle := false
+	for i, x := range m.idle {
+		if x == pl {
+			m.idle = append(m.idle[:i], m.idle[i+1:]...)
+			idle = true
+			break
+		}
+	}
+	if !idle || pl.die || m.dying || m.concurrency != 0 || len(m.pool)-m.retiring <= 1 {
+		if idle {
+			m.idle = append(m.idle, pl) // not eligible after all
+		}
+		m.mu.Unlock()
+		return
+	}
+	pl.die = true
+	pl.counted = true
+	m.retiring++
+	m.agedOut++
+	m.mu.Unlock()
+	m.tr.Add("pool", "idle lwp %d aged out (%d remain)", pl.l.ID(), m.PoolSize()-1)
+	m.kern.Unpark(pl.l)
+}
+
+// AgedOut reports how many pool LWPs idle aging has retired.
+func (m *Runtime) AgedOut() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.agedOut
 }
 
 // dispatch runs t on pl until t yields control back: Figure 2 steps
@@ -396,6 +461,7 @@ func (m *Runtime) SetConcurrency(n int) error {
 				}
 				if !pl.die {
 					pl.die = true
+					pl.counted = true
 					m.retiring++
 					shrink--
 					m.kern.Unpark(pl.l)
@@ -408,6 +474,7 @@ func (m *Runtime) SetConcurrency(n int) error {
 				}
 				if !pl.die {
 					pl.die = true
+					pl.counted = true
 					m.retiring++
 					shrink--
 				}

@@ -1,0 +1,278 @@
+// Wait-for graph maintenance and deadlock detection.
+//
+// Every blocking synchronization primitive publishes, just before it
+// parks, *what* its thread is waiting for (a BlockInfo) and a way to
+// resolve *who* currently owns that object. That gives the library a
+// wait-for graph: thread -> sync object -> owning thread, possibly in
+// another process (shared variables record (pid, tid) owners in their
+// mapped words). Two consumers walk it:
+//
+//   - error-check mutexes call WouldDeadlock at lock time and return
+//     EDEADLK instead of parking into a cycle;
+//   - DetectDeadlocks walks the whole graph across runtimes in one
+//     pass and reports every cycle, surfaced through /proc lstatus
+//     and mtstat -locks.
+//
+// Locking: a thread's BlockInfo is guarded by Runtime.mu. Owner
+// resolution closures take the sync object's own lock, so they are
+// only ever invoked with Runtime.mu released — the walkers snapshot
+// under mu and resolve after unlocking.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sunosmt/internal/sim"
+)
+
+// OwnerRef identifies the thread that owns a synchronization object.
+// PID zero means "a thread in the caller's own process" (local
+// primitives do not know their pid); cross-process owners carry the
+// real pid decoded from the shared owner word.
+type OwnerRef struct {
+	PID sim.PID
+	TID ThreadID
+}
+
+// BlockInfo describes what a blocked thread is waiting for. Owner
+// resolves the object's current owner at walk time; ok=false when the
+// object has no single owner (condition variables, semaphores with no
+// tracked holder), which simply ends the wait-for chain there.
+type BlockInfo struct {
+	Kind  string // "mutex", "rwlock", "sema", "cond"
+	Name  string
+	Owner func() (OwnerRef, bool)
+}
+
+// NoteBlocked publishes that the thread is about to park waiting for
+// the described object. Paired with NoteUnblocked.
+func (t *Thread) NoteBlocked(bi *BlockInfo) {
+	t.m.mu.Lock()
+	t.blocked = bi
+	t.m.mu.Unlock()
+}
+
+// NoteUnblocked clears the thread's blocked-on record.
+func (t *Thread) NoteUnblocked() {
+	t.m.mu.Lock()
+	t.blocked = nil
+	t.m.mu.Unlock()
+}
+
+// BlockedOn returns the thread's current blocked-on record (nil when
+// it is not blocked on a synchronization object).
+func (t *Thread) BlockedOn() *BlockInfo {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	return t.blocked
+}
+
+// LockWaiter is one resolved wait-for edge: thread TID is blocked on
+// the named object, owned (if HasOwner) by Owner.
+type LockWaiter struct {
+	TID      ThreadID
+	Kind     string
+	Name     string
+	Owner    OwnerRef
+	HasOwner bool
+}
+
+// LockWaiters snapshots the runtime's outgoing wait-for edges. Owner
+// closures are resolved after Runtime.mu is released.
+func (m *Runtime) LockWaiters() []LockWaiter {
+	type raw struct {
+		tid ThreadID
+		bi  *BlockInfo
+	}
+	m.mu.Lock()
+	var rs []raw
+	for id, t := range m.threads {
+		if t.blocked != nil {
+			rs = append(rs, raw{id, t.blocked})
+		}
+	}
+	m.mu.Unlock()
+	out := make([]LockWaiter, 0, len(rs))
+	for _, r := range rs {
+		w := LockWaiter{TID: r.tid, Kind: r.bi.Kind, Name: r.bi.Name}
+		if r.bi.Owner != nil {
+			if ref, ok := r.bi.Owner(); ok {
+				w.Owner, w.HasOwner = ref, true
+			}
+		}
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return out
+}
+
+// WouldDeadlock reports whether blocking t on an object currently
+// owned by owner would close a wait-for cycle inside this process.
+// Error-check mutexes call it at lock time (EDEADLK). The walk stops
+// at cross-process owners — those cycles are the system-wide
+// detector's job. Callers must hold no sync-object locks.
+func (m *Runtime) WouldDeadlock(t, owner *Thread) bool {
+	cur := owner
+	visited := make(map[ThreadID]bool)
+	for cur != nil && !visited[cur.id] {
+		if cur == t {
+			return true
+		}
+		visited[cur.id] = true
+		m.mu.Lock()
+		bi := cur.blocked
+		m.mu.Unlock()
+		if bi == nil || bi.Owner == nil {
+			return false
+		}
+		ref, ok := bi.Owner()
+		if !ok || ref.PID != 0 {
+			return false
+		}
+		m.mu.Lock()
+		cur = m.threads[ref.TID]
+		m.mu.Unlock()
+	}
+	return false
+}
+
+// DeadlockNode is one thread in a detected cycle, annotated with the
+// object it is blocked on.
+type DeadlockNode struct {
+	PID  sim.PID
+	TID  ThreadID
+	Kind string
+	Name string
+}
+
+// Deadlock is one wait-for cycle. Nodes are rotated so the smallest
+// (PID, TID) leads, making cycles comparable across detection passes.
+type Deadlock struct {
+	Nodes []DeadlockNode
+}
+
+// String renders the cycle as "pid/tid --kind:name--> pid/tid --...".
+func (d Deadlock) String() string {
+	s := ""
+	for _, n := range d.Nodes {
+		s += fmt.Sprintf("%d/%d --%s:%s--> ", n.PID, n.TID, n.Kind, n.Name)
+	}
+	if len(d.Nodes) > 0 {
+		s += fmt.Sprintf("%d/%d", d.Nodes[0].PID, d.Nodes[0].TID)
+	}
+	return s
+}
+
+type dlKey struct {
+	pid sim.PID
+	tid ThreadID
+}
+
+type dlNode struct {
+	edge dlKey
+	hasE bool
+	kind string
+	name string
+}
+
+// DetectDeadlocks walks the wait-for graph of the given runtimes in
+// one pass and returns every cycle found. Cross-process edges resolve
+// through the shared variables' owner words; edges into processes not
+// listed end their chain (no false positives, possibly missed cycles
+// through unlisted processes). Every thread has at most one outgoing
+// edge, so the walk is linear. The start order rotates under chaos.
+func DetectDeadlocks(rts []*Runtime) []Deadlock {
+	nodes := make(map[dlKey]*dlNode)
+	for _, m := range rts {
+		pid := m.proc.PID()
+		for _, w := range m.LockWaiters() {
+			n := &dlNode{kind: w.Kind, name: w.Name}
+			if w.HasOwner {
+				opid := w.Owner.PID
+				if opid == 0 {
+					opid = pid
+				}
+				n.edge = dlKey{opid, w.Owner.TID}
+				n.hasE = true
+			}
+			nodes[dlKey{pid, w.TID}] = n
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	keys := make([]dlKey, 0, len(nodes))
+	for k := range nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	start := 0
+	if len(rts) > 0 {
+		if alt := rts[0].ChaosSource().DetectReorder(len(keys)); alt >= 0 {
+			start = alt
+		}
+	}
+
+	var out []Deadlock
+	seen := make(map[string]bool) // canonical cycle -> reported
+	done := make(map[dlKey]bool)  // fully explored
+	for i := 0; i < len(keys); i++ {
+		k := keys[(start+i)%len(keys)]
+		if done[k] {
+			continue
+		}
+		// Follow the (out-degree <= 1) chain, recording positions.
+		path := make(map[dlKey]int)
+		var order []dlKey
+		cur := k
+		for {
+			if done[cur] {
+				break // merges into an explored chain: no new cycle
+			}
+			if at, on := path[cur]; on {
+				cyc := order[at:]
+				d := canonicalize(cyc, nodes)
+				if s := d.String(); !seen[s] {
+					seen[s] = true
+					out = append(out, d)
+				}
+				break
+			}
+			n, ok := nodes[cur]
+			if !ok || !n.hasE {
+				break
+			}
+			path[cur] = len(order)
+			order = append(order, cur)
+			cur = n.edge
+		}
+		for _, v := range order {
+			done[v] = true
+		}
+	}
+	return out
+}
+
+// canonicalize rotates a cycle so its smallest (PID, TID) leads.
+func canonicalize(cyc []dlKey, nodes map[dlKey]*dlNode) Deadlock {
+	min := 0
+	for i := 1; i < len(cyc); i++ {
+		if cyc[i].pid < cyc[min].pid ||
+			(cyc[i].pid == cyc[min].pid && cyc[i].tid < cyc[min].tid) {
+			min = i
+		}
+	}
+	d := Deadlock{}
+	for i := 0; i < len(cyc); i++ {
+		k := cyc[(min+i)%len(cyc)]
+		n := nodes[k]
+		d.Nodes = append(d.Nodes, DeadlockNode{PID: k.pid, TID: k.tid, Kind: n.kind, Name: n.name})
+	}
+	return d
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"sunosmt/internal/sim"
 )
@@ -125,6 +126,7 @@ type Thread struct {
 	stopWaiters []*Thread
 	sigmask     sim.Sigset // also mirrored into the LWP while running
 	pending     sim.Sigset // thread-directed pending signals
+	blocked     *BlockInfo // what the thread is parked on (wait-for edge)
 	errno       int
 	forkCont    Func
 	forkArg     any
@@ -329,17 +331,40 @@ func (t *Thread) threadMain() {
 }
 
 // callBody runs the thread function, turning Thread.Exit's panic into
-// a normal return.
+// a normal return and any other panic into a simulated process abort.
+// Kernel unwinds pass through untouched.
 func (t *Thread) callBody() {
 	defer func() {
-		if r := recover(); r != nil {
-			if te, ok := r.(threadExitPanic); ok && te.t == t {
-				return
-			}
+		r := recover()
+		if r == nil {
+			return
+		}
+		if te, ok := r.(threadExitPanic); ok && te.t == t {
+			return
+		}
+		if sim.IsUnwind(r) {
 			panic(r)
 		}
+		t.abortProcess(r)
 	}()
 	t.fn(t, t.arg)
+}
+
+// abortProcess contains a panicking thread body: the panic becomes a
+// fatal-SIGABRT-with-core death of the simulated process (observable
+// through WaitExit), never a crash of the host binary or of any other
+// simulated process. It does not return — Kernel.Abort unwinds, and
+// the normal unwind recovery retires the LWP.
+func (t *Thread) abortProcess(r any) {
+	msg := fmt.Sprintf("thread %d panic: %v\n%s", t.id, r, debug.Stack())
+	t.m.tr.Add("thread", "thread %d panics: %v", t.id, r)
+	l := t.LWP()
+	if l == nil {
+		// The thread lost its LWP (it raced with process death);
+		// unwind like any other torn-down thread.
+		panic(&sim.Unwind{Proc: t.m.proc, Reason: "panic during teardown"})
+	}
+	t.m.kern.Abort(l, msg)
 }
 
 // releaseOnUnwind recovers a kernel unwind (process death, exec,

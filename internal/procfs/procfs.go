@@ -12,6 +12,9 @@
 //	/proc/<pid>/lwps          one line per LWP
 //	/proc/<pid>/threads       one line per library thread (via the
 //	                          registered lister; absent without one)
+//	/proc/<pid>/lstatus       lock wait-for edges of the process's
+//	                          threads and any deadlock cycles the
+//	                          system-wide detector finds
 //
 // Mount attaches the tree; Refresh regenerates the directory for the
 // current process table (the tree is a snapshot, like reading /proc
@@ -70,6 +73,7 @@ func (pfs *ProcFS) Refresh() error {
 		pfs.mu.Unlock()
 		if rt != nil {
 			pfs.attach(dir, "threads", func() []byte { return pfs.threadStatus(rt) })
+			pfs.attach(dir, "lstatus", func() []byte { return pfs.lockStatus(rt) })
 		}
 		pfs.attachDir(root, fmt.Sprintf("%d", p.PID()), dir)
 	}
@@ -114,10 +118,14 @@ func (pfs *ProcFS) lwpStatus(p *sim.Process) []byte {
 	lwps := p.LWPs()
 	sort.Slice(lwps, func(i, j int) bool { return lwps[i].ID() < lwps[j].ID() })
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-10s %-10s\n", "LWPID", "STATE", "CLASS", "UTIME", "STIME")
+	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-10s %-10s %s\n", "LWPID", "STATE", "CLASS", "UTIME", "STIME", "WCHAN")
 	for _, l := range lwps {
 		u, s := l.Usage()
-		fmt.Fprintf(&sb, "%-6d %-10v %-6v %-10v %-10v\n", l.ID(), l.State(), l.Class(), u, s)
+		wchan := l.Wchan()
+		if wchan == "" {
+			wchan = "-"
+		}
+		fmt.Fprintf(&sb, "%-6d %-10v %-6v %-10v %-10v %s\n", l.ID(), l.State(), l.Class(), u, s, wchan)
 	}
 	return []byte(sb.String())
 }
@@ -126,10 +134,66 @@ func (pfs *ProcFS) threadStatus(rt *core.Runtime) []byte {
 	threads := rt.Threads()
 	sort.Slice(threads, func(i, j int) bool { return threads[i].ID() < threads[j].ID() })
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-6s\n", "TID", "STATE", "PRIO", "BOUND")
+	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-6s %s\n", "TID", "STATE", "PRIO", "BOUND", "BLOCKED-ON")
 	for _, t := range threads {
-		fmt.Fprintf(&sb, "%-6d %-10v %-6d %-6v\n", t.ID(), t.State(), t.Priority(), t.Bound())
+		blocked := "-"
+		if bi := t.BlockedOn(); bi != nil {
+			blocked = bi.Kind + ":" + bi.Name
+		}
+		fmt.Fprintf(&sb, "%-6d %-10v %-6d %-6v %s\n", t.ID(), t.State(), t.Priority(), t.Bound(), blocked)
 	}
 	fmt.Fprintf(&sb, "pool-lwps: %d  runnable: %d\n", rt.PoolSize(), rt.RunnableThreads())
 	return []byte(sb.String())
+}
+
+// lockStatus renders the process's outgoing wait-for edges with
+// resolved owners, then runs the system-wide deadlock detector over
+// every registered runtime and reports the cycles that involve this
+// process.
+func (pfs *ProcFS) lockStatus(rt *core.Runtime) []byte {
+	pid := rt.Process().PID()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-8s %-20s %s\n", "TID", "KIND", "OBJECT", "OWNER")
+	for _, w := range rt.LockWaiters() {
+		owner := "-"
+		if w.HasOwner {
+			opid := w.Owner.PID
+			if opid == 0 {
+				opid = pid
+			}
+			owner = fmt.Sprintf("%d/%d", opid, w.Owner.TID)
+		}
+		fmt.Fprintf(&sb, "%-6d %-8s %-20s %s\n", w.TID, w.Kind, w.Name, owner)
+	}
+	cycles := core.DetectDeadlocks(pfs.runtimes())
+	n := 0
+	for _, d := range cycles {
+		involved := false
+		for _, node := range d.Nodes {
+			if node.PID == pid {
+				involved = true
+				break
+			}
+		}
+		if !involved {
+			continue
+		}
+		n++
+		fmt.Fprintf(&sb, "deadlock: %s\n", d)
+	}
+	fmt.Fprintf(&sb, "deadlocks: %d\n", n)
+	return []byte(sb.String())
+}
+
+// runtimes snapshots every registered threads-library instance, in
+// pid order so detection passes are deterministic.
+func (pfs *ProcFS) runtimes() []*core.Runtime {
+	pfs.mu.Lock()
+	rts := make([]*core.Runtime, 0, len(pfs.listers))
+	for _, rt := range pfs.listers {
+		rts = append(rts, rt)
+	}
+	pfs.mu.Unlock()
+	sort.Slice(rts, func(i, j int) bool { return rts[i].Process().PID() < rts[j].Process().PID() })
+	return rts
 }

@@ -123,6 +123,11 @@ type Kernel struct {
 	forkHooks []func(parent, child *Process)
 	// execHooks run when a process execs.
 	execHooks []func(p *Process)
+	// deathHooks run (on fresh goroutines, with mu released) once
+	// per process death — voluntary exit or kill alike. The shared
+	// synchronization registry uses them to sweep locks the dead
+	// process owned and mark them OWNERDEAD.
+	deathHooks []func(p *Process)
 }
 
 // Unwind is the panic value used to tear an animator out of a dead or
@@ -203,6 +208,15 @@ func (k *Kernel) AddForkHook(fn func(parent, child *Process)) {
 func (k *Kernel) AddExecHook(fn func(p *Process)) {
 	k.mu.Lock()
 	k.execHooks = append(k.execHooks, fn)
+	k.mu.Unlock()
+}
+
+// AddDeathHook registers fn to run (on a fresh goroutine, no kernel
+// locks held) each time a process begins to die, whether by voluntary
+// exit or by signal. Exactly one invocation per process death.
+func (k *Kernel) AddDeathHook(fn func(p *Process)) {
+	k.mu.Lock()
+	k.deathHooks = append(k.deathHooks, fn)
 	k.mu.Unlock()
 }
 

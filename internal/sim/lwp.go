@@ -164,6 +164,18 @@ func (l *LWP) Class() Class {
 	return l.class
 }
 
+// Wchan returns the name of the kernel wait queue the LWP is sleeping
+// on ("" when it is not sleeping) — the /proc WCHAN of this kernel.
+func (l *LWP) Wchan() string {
+	k := l.proc.kern
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l.wq != nil {
+		return l.wq.name
+	}
+	return ""
+}
+
 // Usage returns the LWP's accumulated user and system CPU time.
 func (l *LWP) Usage() (user, sys time.Duration) {
 	k := l.proc.kern

@@ -84,6 +84,7 @@ type Process struct {
 	exitStatus   int
 	killSig      Signal // signal that terminated the process, if any
 	dumpedCore   bool
+	abortMsg     string // panic message when Abort killed the process
 
 	actions     [NSIG]sigaction
 	pendingProc Sigset
@@ -153,6 +154,22 @@ func (p *Process) ExitStatus() (status int, sig Signal) {
 	p.kern.mu.Lock()
 	defer p.kern.mu.Unlock()
 	return p.exitStatus, p.killSig
+}
+
+// DumpedCore reports whether the terminating signal's default action
+// dumped core. Valid once Exited is closed.
+func (p *Process) DumpedCore() bool {
+	p.kern.mu.Lock()
+	defer p.kern.mu.Unlock()
+	return p.dumpedCore
+}
+
+// AbortMessage returns the panic message recorded when Kernel.Abort
+// killed the process ("" when the process did not die by abort).
+func (p *Process) AbortMessage() string {
+	p.kern.mu.Lock()
+	defer p.kern.mu.Unlock()
+	return p.abortMsg
 }
 
 // LWPs returns a snapshot of the process's non-zombie LWPs.

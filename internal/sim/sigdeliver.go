@@ -427,6 +427,12 @@ func (k *Kernel) killProcLocked(p *Process, status int, sig Signal, core bool) {
 	p.dumpedCore = core
 	p.state = ProcRunning // a stopped process being killed resumes to die
 	k.tr.Add("proc", "pid %d dying (sig %v, core %v)", p.pid, sig, core)
+	// Death hooks fire exactly once per process death (the dying
+	// guard above makes re-entry impossible), on fresh goroutines so
+	// they may take the kernel lock themselves.
+	for _, h := range k.deathHooks {
+		go h(p)
+	}
 	// Wake every blocked LWP so its animator observes dying and
 	// unwinds; on-CPU LWPs observe it at their next checkpoint, and
 	// runnable LWPs re-check in waitOnCPULocked after the broadcast.
@@ -436,6 +442,24 @@ func (k *Kernel) killProcLocked(p *Process, status int, sig Signal, core bool) {
 	if p.liveLWPs == 0 {
 		k.finalizeProcLocked(p)
 	}
+}
+
+// Abort terminates the calling LWP's process as if a fatal SIGABRT
+// with a core dump had been delivered, recording msg as the abort
+// reason, then unwinds the caller. The threads library uses it to
+// contain a panicking thread body: the panic becomes a simulated
+// process death instead of crashing the host. Abort never returns —
+// it panics with *Unwind, which the animator's recovery handles.
+func (k *Kernel) Abort(l *LWP, msg string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p := l.proc
+	if !p.dying && p.state != ProcZombie && p.state != ProcDead {
+		p.abortMsg = msg
+		k.tr.Add("proc", "pid %d aborts: %s", p.pid, msg)
+		k.killProcLocked(p, 0, SIGABRT, true)
+	}
+	k.unwindLocked(l, "abort")
 }
 
 func (k *Kernel) stopProcLocked(p *Process) {

@@ -17,6 +17,7 @@ import (
 type Cond struct {
 	mu      sync.Mutex
 	waiters waitq
+	name    string
 
 	// sv (process-shared variant): word 0 is the wake generation
 	// counter.
@@ -30,6 +31,27 @@ const CondShmSize = 8
 // InitShared binds the condition variable to shared state —
 // the USYNC_PROCESS variant (cv_init with THREAD_SYNC_SHARED).
 func (cv *Cond) InitShared(sv *usync.Var) { cv.sv = sv }
+
+// Name returns the condition variable's identity for diagnostics.
+func (cv *Cond) Name() string {
+	if cv.sv != nil {
+		return cv.sv.Name()
+	}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if cv.name == "" {
+		cv.name = autoName("cond")
+	}
+	return cv.name
+}
+
+// blockInfo is the wait-for edge for threads parked in Wait. A
+// condition wait has no owner — someone must Signal — so it never
+// contributes an edge to deadlock cycles, but it does show up in
+// lstatus as what the thread is blocked on.
+func (cv *Cond) blockInfo() *core.BlockInfo {
+	return &core.BlockInfo{Kind: "cond", Name: cv.Name()}
+}
 
 // Wait blocks until the condition is signalled (cv_wait): it releases
 // mp before blocking and reacquires it before returning. Spurious
@@ -46,7 +68,9 @@ func (cv *Cond) Wait(t *core.Thread, mp *Mutex) {
 	if chaosOf(t).SpuriousWakeup() {
 		t.Checkpoint() // chaos: spurious wakeup, park elided
 	} else {
+		t.NoteBlocked(cv.blockInfo())
 		t.Park()
+		t.NoteUnblocked()
 	}
 	// Deregister in case the wake was a permit consumed elsewhere
 	// (stop/continue interleavings); harmless if already popped.
@@ -144,9 +168,11 @@ func (cv *Cond) waitShared(t *core.Thread, mp *Mutex, d time.Duration) bool {
 	if d > 0 {
 		opts.Timeout = d
 	}
+	t.NoteBlocked(cv.blockInfo())
 	res, slept := cv.sv.SleepWhile(t.LWP(), func(w usync.Words) bool {
 		return w.Load(0) == gen // no signal since we decided to wait
 	}, opts)
+	t.NoteUnblocked()
 	mp.Enter(t)
 	t.Checkpoint()
 	return !(slept && res == sim.WakeTimeout)

@@ -2,30 +2,41 @@ package tsync
 
 import (
 	"sync"
+	"time"
 
 	"sunosmt/internal/core"
+	"sunosmt/internal/ktime"
 	"sunosmt/internal/usync"
 )
 
 // Mutex is the paper's mutual exclusion lock: low overhead in space
 // and time, suitable for high-frequency usage, strictly bracketing.
 // The zero value is an unlocked mutex of the default variant.
+//
+// Every variant records its owner so the library can maintain the
+// wait-for graph (deadlock detection, /proc lstatus); only the
+// error-checking variant acts on it. Process-shared mutexes are
+// robust: the owner's (pid, tid) lives in the mapped words, a process
+// death sweeps it, and the next acquirer gets ErrOwnerDead (see
+// EnterErr and MakeConsistent).
 type Mutex struct {
 	mu      sync.Mutex // word lock; models the atomic instructions
 	held    bool
-	owner   *core.Thread // error-checking variant only
+	owner   *core.Thread
 	variant Variant
 	waiters waitq
+	name    string // lazily assigned; identifies the lock in lstatus
 
 	// sv, when non-nil, makes this a process-shared mutex whose
 	// state lives in mapped memory at the variable's offset:
-	// word 0 = lock state, word 1 = waiter count.
+	// word 0 = lock state, word 1 = waiter count, word 2 = owner
+	// (pid, tid), word 3 = robust state.
 	sv *usync.Var
 }
 
 // MutexShmSize is the number of bytes a process-shared mutex occupies
 // in mapped memory.
-const MutexShmSize = 16
+const MutexShmSize = 32
 
 // Init selects the implementation variant (mutex_init). Calling Init
 // on a held mutex is a programming error the library does not check
@@ -35,37 +46,151 @@ func (mp *Mutex) Init(v Variant) { mp.variant = v }
 // InitShared binds the mutex to shared state at (obj, off) resolved
 // through reg — the USYNC_PROCESS variant. Threads in any process
 // that binds a Mutex to the same identity contend on the same lock.
-func (mp *Mutex) InitShared(sv *usync.Var) { mp.sv = sv }
+func (mp *Mutex) InitShared(sv *usync.Var) {
+	mp.sv = sv
+	sv.Declare(usync.KindMutex)
+}
+
+// Name returns the lock's identity for diagnostics: the shared
+// variable's system-wide name, or a lazily assigned "mutex#N".
+func (mp *Mutex) Name() string {
+	if mp.sv != nil {
+		return mp.sv.Name()
+	}
+	mp.mu.Lock()
+	defer mp.mu.Unlock()
+	if mp.name == "" {
+		mp.name = autoName("mutex")
+	}
+	return mp.name
+}
+
+// blockInfo builds the wait-for edge published while parked on this
+// mutex. The owner closure resolves at walk time, never under the
+// caller's locks.
+func (mp *Mutex) blockInfo() *core.BlockInfo {
+	name := mp.Name()
+	if mp.sv != nil {
+		return &core.BlockInfo{Kind: "mutex", Name: name, Owner: func() (core.OwnerRef, bool) {
+			var ow uint64
+			mp.sv.Atomically(func(w usync.Words) { ow = w.Load(2) })
+			if ow == 0 {
+				return core.OwnerRef{}, false
+			}
+			pid, tid := usync.DecodeOwner(ow)
+			return core.OwnerRef{PID: pid, TID: core.ThreadID(tid)}, true
+		}}
+	}
+	return &core.BlockInfo{Kind: "mutex", Name: name, Owner: func() (core.OwnerRef, bool) {
+		mp.mu.Lock()
+		o := mp.owner
+		mp.mu.Unlock()
+		if o == nil {
+			return core.OwnerRef{}, false
+		}
+		return core.OwnerRef{TID: o.ID()}, true
+	}}
+}
 
 // Enter acquires the lock, blocking if it is already held
-// (mutex_enter).
+// (mutex_enter). On an error-check mutex a lock-time deadlock panics,
+// as the paper's debugging variant did; an owner-dead shared lock is
+// recovered transparently (use EnterErr for the robust protocol).
 func (mp *Mutex) Enter(t *core.Thread) {
-	if mp.sv != nil {
-		mp.enterShared(t)
-		return
+	switch err := mp.EnterErr(t); err {
+	case nil:
+	case ErrOwnerDead:
+		mp.MakeConsistent(t)
+	case ErrDeadlock:
+		panic("tsync: recursive mutex_enter (self-deadlock) detected by error-check mutex")
+	case ErrNotRecoverable:
+		panic("tsync: mutex_enter of a not-recoverable shared lock")
 	}
+}
+
+// EnterErr acquires the lock like Enter but reports exceptional
+// acquisitions instead of panicking or recovering silently:
+//
+//   - ErrDeadlock (error-check variant): the calling thread already
+//     owns the lock, or parking would close a wait-for cycle. The
+//     lock is not acquired and the thread did not park.
+//   - ErrOwnerDead (shared): a process died holding the lock. The
+//     caller HOLDS the lock and must repair the protected state and
+//     call MakeConsistent before Exit; releasing without it makes
+//     the lock permanently ErrNotRecoverable.
+//   - ErrNotRecoverable (shared): the lock is dead forever.
+func (mp *Mutex) EnterErr(t *core.Thread) error {
+	if mp.sv != nil {
+		return mp.enterShared(t, 0)
+	}
+	return mp.enterLocal(t, 0)
+}
+
+// TimedEnter is EnterErr with a deadline: it gives up and returns
+// ErrTimedOut if the lock cannot be acquired within d (cf.
+// Cond.TimedWait). d <= 0 means no deadline.
+func (mp *Mutex) TimedEnter(t *core.Thread, d time.Duration) error {
+	if mp.sv != nil {
+		return mp.enterShared(t, d)
+	}
+	return mp.enterLocal(t, d)
+}
+
+// MakeConsistent marks an owner-dead shared lock consistent again
+// (pthread_mutex_consistent). Only the thread currently holding the
+// lock after an ErrOwnerDead acquisition may call it; reports whether
+// the mark was cleared. Unshared mutexes have no robust state.
+func (mp *Mutex) MakeConsistent(t *core.Thread) bool {
+	if mp.sv == nil {
+		return false
+	}
+	self := ownerWord(t)
+	ok := false
+	mp.sv.Atomically(func(w usync.Words) {
+		if w.Load(3) == usync.RobustOwnerDead && w.Load(0) != 0 && w.Load(2) == self {
+			w.Store(3, usync.RobustOK)
+			ok = true
+		}
+	})
+	return ok
+}
+
+// enterLocal is the unshared acquisition path. d > 0 bounds the wait.
+func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
 	spins := 0
 	if mp.variant == VariantSpin {
 		spins = -1 // never park
 	} else if mp.variant == VariantAdaptive || mp.variant == VariantDefault {
 		spins = adaptiveSpins
 	}
+	clk := t.Runtime().Kernel().Clock()
+	var deadline time.Duration
+	if d > 0 {
+		deadline = clk.Now() + d
+	}
+	var bi *core.BlockInfo
 	for {
 		mp.mu.Lock()
 		if !mp.held {
 			mp.held = true
-			if mp.variant == VariantErrorCheck {
-				mp.owner = t
-			}
+			mp.owner = t
 			mp.mu.Unlock()
-			return
+			return nil
 		}
-		if mp.variant == VariantErrorCheck && mp.owner == t {
-			mp.mu.Unlock()
-			panic("tsync: recursive mutex_enter (self-deadlock) detected by error-check mutex")
+		owner := mp.owner
+		mp.mu.Unlock()
+		if mp.variant == VariantErrorCheck && owner != nil {
+			// EDEADLK at lock time: self-ownership, or the
+			// wait-for graph shows the owner (transitively)
+			// waiting on us. Checked before parking.
+			if owner == t || t.Runtime().WouldDeadlock(t, owner) {
+				return ErrDeadlock
+			}
+		}
+		if d > 0 && clk.Now() >= deadline {
+			return ErrTimedOut
 		}
 		if spins != 0 {
-			mp.mu.Unlock()
 			if spins > 0 {
 				spins--
 			}
@@ -75,6 +200,11 @@ func (mp *Mutex) Enter(t *core.Thread) {
 		// Queue and park. The enqueue happens under the word
 		// lock; the wake permit protocol in core makes the
 		// release-side unpark race-free.
+		mp.mu.Lock()
+		if !mp.held {
+			mp.mu.Unlock()
+			continue // released between probes: re-try
+		}
 		mp.waiters.push(t)
 		mp.mu.Unlock()
 		if chaosOf(t).SpuriousWakeup() {
@@ -87,16 +217,67 @@ func (mp *Mutex) Enter(t *core.Thread) {
 			t.Checkpoint()
 			continue
 		}
-		t.Park()
+		if bi == nil {
+			bi = mp.blockInfo()
+		}
+		t.NoteBlocked(bi)
+		if d > 0 {
+			if timedOut := parkTimed(t, clk, deadline, func() bool {
+				mp.mu.Lock()
+				removed := mp.waiters.remove(t)
+				mp.mu.Unlock()
+				return removed
+			}); timedOut {
+				t.NoteUnblocked()
+				return ErrTimedOut
+			}
+		} else {
+			t.Park()
+		}
+		t.NoteUnblocked()
 		// Loop: mutex may have been stolen by a barger; Mesa
 		// semantics, as with real adaptive locks.
+	}
+}
+
+// parkTimed parks t with a deadline. dequeue must atomically remove t
+// from the primitive's wait queue and report whether it was still
+// queued; when the timer wins that race the park is cut short and
+// parkTimed reports true (timed out). A racing real wake keeps its
+// normal meaning: the thread was popped by the waker, the timer's
+// dequeue fails, and parkTimed reports false.
+func parkTimed(t *core.Thread, clk ktime.Clock, deadline time.Duration, dequeue func() bool) bool {
+	rem := deadline - clk.Now()
+	if rem <= 0 {
+		if dequeue() {
+			return true
+		}
+		// Already woken for real: consume the wake.
+		t.Park()
+		return false
+	}
+	fired := make(chan struct{})
+	timer := clk.AfterFunc(rem, func() {
+		if dequeue() {
+			close(fired)
+			t.Unpark()
+		}
+	})
+	t.Park()
+	timer.Stop()
+	select {
+	case <-fired:
+		return true
+	default:
+		return false
 	}
 }
 
 // TryEnter acquires the lock only if that requires no blocking
 // (mutex_tryenter); it reports whether the lock was taken. The paper
 // notes it can be used to avoid deadlock in lock-hierarchy
-// violations.
+// violations. An owner-dead shared lock is taken and recovered
+// transparently; a not-recoverable one is never taken.
 func (mp *Mutex) TryEnter(t *core.Thread) bool {
 	if mp.sv != nil {
 		return mp.tryEnterShared(t)
@@ -107,9 +288,7 @@ func (mp *Mutex) TryEnter(t *core.Thread) bool {
 		return false
 	}
 	mp.held = true
-	if mp.variant == VariantErrorCheck {
-		mp.owner = t
-	}
+	mp.owner = t
 	return true
 }
 
@@ -125,8 +304,8 @@ func (mp *Mutex) Exit(t *core.Thread) {
 			mp.mu.Unlock()
 			panic("tsync: mutex_exit of a lock not held by the thread")
 		}
-		mp.owner = nil
 	}
+	mp.owner = nil
 	mp.held = false
 	wake := mp.waiters.pop()
 	mp.mu.Unlock()
@@ -147,53 +326,130 @@ func (mp *Mutex) Held() bool {
 	return mp.held
 }
 
+// ownerWord encodes the calling thread as a shared owner word.
+func ownerWord(t *core.Thread) uint64 {
+	return usync.EncodeOwner(t.Runtime().Process().PID(), int(t.ID()))
+}
+
 // --- process-shared implementation --------------------------------------
 
-func (mp *Mutex) enterShared(t *core.Thread) {
+func (mp *Mutex) enterShared(t *core.Thread, d time.Duration) error {
 	l := t.LWP()
+	self := ownerWord(t)
+	clk := t.Runtime().Kernel().Clock()
+	var deadline time.Duration
+	if d > 0 {
+		deadline = clk.Now() + d
+	}
+	// The waiter count is incremented once and decremented on every
+	// exit from this function — including a kernel unwind tearing
+	// through the sleep when this process dies, which previously
+	// leaked the count forever.
+	waiting := false
+	defer func() {
+		if waiting {
+			mp.sv.Atomically(func(w usync.Words) { w.Store(1, w.Load(1)-1) })
+		}
+	}()
+	var bi *core.BlockInfo
 	for {
-		acquired := false
+		var acquired, dead, notrec, selfOwned bool
 		mp.sv.Atomically(func(w usync.Words) {
-			if w.Load(0) == 0 {
+			switch {
+			case w.Load(3) == usync.RobustNotRecoverable:
+				notrec = true
+			case w.Load(0) == 0:
 				w.Store(0, 1)
+				w.Store(2, self)
+				dead = w.Load(3) == usync.RobustOwnerDead
 				acquired = true
-			} else {
-				w.Store(1, w.Load(1)+1) // waiter count
+			default:
+				selfOwned = w.Load(2) == self
 			}
 		})
+		if notrec {
+			return ErrNotRecoverable
+		}
 		if acquired {
-			return
+			if dead {
+				return ErrOwnerDead
+			}
+			return nil
+		}
+		if selfOwned && mp.variant == VariantErrorCheck {
+			return ErrDeadlock
+		}
+		if d > 0 && clk.Now() >= deadline {
+			return ErrTimedOut
+		}
+		if !waiting {
+			waiting = true
+			mp.sv.Atomically(func(w usync.Words) { w.Store(1, w.Load(1)+1) })
+		}
+		opts := usync.SleepOpts{}
+		if d > 0 {
+			opts.Timeout = deadline - clk.Now()
+		}
+		if bi == nil {
+			bi = mp.blockInfo()
 		}
 		// Block in the kernel: the thread is temporarily bound to
-		// the LWP that blocks, as in a system call (paper).
+		// the LWP that blocks, as in a system call (paper). The
+		// sleep breaks on release, on the owner-death sweep
+		// (which clears the lock word), and on NOTRECOVERABLE.
+		t.NoteBlocked(bi)
 		mp.sv.SleepWhile(l, func(w usync.Words) bool {
-			return w.Load(0) != 0
-		}, usync.SleepOpts{})
-		mp.sv.Atomically(func(w usync.Words) {
-			w.Store(1, w.Load(1)-1)
-		})
+			return w.Load(0) != 0 && w.Load(3) != usync.RobustNotRecoverable
+		}, opts)
+		t.NoteUnblocked()
 		t.Checkpoint()
 	}
 }
 
-func (mp *Mutex) tryEnterShared(*core.Thread) bool {
+func (mp *Mutex) tryEnterShared(t *core.Thread) bool {
+	self := ownerWord(t)
 	acquired := false
 	mp.sv.Atomically(func(w usync.Words) {
+		if w.Load(3) == usync.RobustNotRecoverable {
+			return
+		}
 		if w.Load(0) == 0 {
 			w.Store(0, 1)
+			w.Store(2, self)
+			if w.Load(3) == usync.RobustOwnerDead {
+				w.Store(3, usync.RobustOK) // transparent recovery
+			}
 			acquired = true
 		}
 	})
 	return acquired
 }
 
-func (mp *Mutex) exitShared(*core.Thread) {
-	hadWaiters := false
+func (mp *Mutex) exitShared(t *core.Thread) {
+	self := ownerWord(t)
+	var hadWaiters, wakeAll, bad bool
 	mp.sv.Atomically(func(w usync.Words) {
+		if mp.variant == VariantErrorCheck && (w.Load(0) == 0 || w.Load(2) != self) {
+			bad = true
+			return
+		}
+		if w.Load(3) == usync.RobustOwnerDead && w.Load(2) == self {
+			// Released while still inconsistent: nobody can ever
+			// trust the protected state again (ENOTRECOVERABLE).
+			// All sleepers wake and fail their acquisitions.
+			w.Store(3, usync.RobustNotRecoverable)
+			wakeAll = true
+		}
 		w.Store(0, 0)
+		w.Store(2, 0)
 		hadWaiters = w.Load(1) > 0
 	})
-	if hadWaiters {
+	if bad {
+		panic("tsync: mutex_exit of a lock not held by the thread")
+	}
+	if wakeAll {
+		mp.sv.Wake(-1)
+	} else if hadWaiters {
 		mp.sv.Wake(1)
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"sunosmt/internal/core"
-	"sunosmt/internal/usync"
 	"sunosmt/internal/vm"
 )
 
@@ -179,10 +178,11 @@ func TestMutexStressAllVariants(t *testing.T) {
 }
 
 // Failure injection: a thread killed (process death) while holding a
-// process-shared mutex leaves the lock held in the mapped object —
-// the pitfall the paper explicitly warns about for fork and shared
-// locks. A later holder can still force it with direct word access
-// (what a recovery tool would do).
+// process-shared mutex — the pitfall the paper explicitly warns about
+// for fork and shared locks. The robust protocol turns the orphaned
+// lock into an acquirable one that reports the death: the next
+// acquirer gets ErrOwnerDead, repairs state, and MakeConsistent
+// restores normal service.
 func TestSharedMutexHeldAcrossOwnerDeath(t *testing.T) {
 	w := newWorld(1)
 	obj := vm.NewAnon(vm.PageSize)
@@ -198,15 +198,20 @@ func TestSharedMutexHeldAcrossOwnerDeath(t *testing.T) {
 		mu := &Mutex{}
 		sv := w.reg.Var(obj, 0)
 		mu.InitShared(sv)
-		if mu.TryEnter(self) {
-			t.Error("orphaned lock not held")
+		err := mu.EnterErr(self)
+		if err != ErrOwnerDead {
+			t.Errorf("EnterErr after owner death = %v, want ErrOwnerDead", err)
 			return
 		}
-		// Recovery: clear the lock word directly, then take it.
-		sv.Atomically(func(ws usync.Words) { ws.Store(0, 0) })
+		if !mu.MakeConsistent(self) {
+			t.Error("MakeConsistent failed while holding owner-dead lock")
+		}
+		mu.Exit(self)
+		// Normal service restored.
 		if !mu.TryEnter(self) {
 			t.Error("recovered lock not acquirable")
 		}
+		mu.Exit(self)
 	})
 	waitRT(t, m2)
 }

@@ -1,0 +1,167 @@
+package tsync
+
+// Unit coverage for the fallible/timed entry points added with the
+// fault-containment work; the cross-process protocol is exercised
+// end-to-end in mt/robust_test.go and mt/robust_chaos_test.go.
+
+import (
+	"testing"
+	"time"
+
+	"sunosmt/internal/core"
+	"sunosmt/internal/vm"
+)
+
+// TestTimedEnterLocalExpires: a held local mutex times a waiter out,
+// and the lock still works afterwards.
+func TestTimedEnterLocalExpires(t *testing.T) {
+	w := newWorld(2)
+	var mu Mutex
+	m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+		mu.Enter(self)
+		c, _ := self.Runtime().Create(func(ct *core.Thread, _ any) {
+			if err := mu.TimedEnter(ct, time.Millisecond); err != ErrTimedOut {
+				t.Errorf("TimedEnter = %v, want ErrTimedOut", err)
+			}
+		}, nil, core.CreateOpts{Flags: core.ThreadWait})
+		self.Wait(c.ID())
+		mu.Exit(self)
+		if err := mu.TimedEnter(self, time.Millisecond); err != nil {
+			t.Errorf("uncontended TimedEnter = %v, want nil", err)
+			return
+		}
+		mu.Exit(self)
+	})
+	waitRT(t, m)
+}
+
+// TestTimedWaitqConsistency: a timed-out waiter must not linger on
+// the wait queue and absorb a wakeup meant for a live waiter.
+func TestTimedWaitqConsistency(t *testing.T) {
+	w := newWorld(2)
+	var mu Mutex
+	m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+		mu.Enter(self)
+		// First waiter times out; second waits indefinitely.
+		timed, _ := self.Runtime().Create(func(ct *core.Thread, _ any) {
+			mu.TimedEnter(ct, time.Millisecond)
+		}, nil, core.CreateOpts{Flags: core.ThreadWait})
+		self.Wait(timed.ID())
+		got := make(chan struct{})
+		forever, _ := self.Runtime().Create(func(ct *core.Thread, _ any) {
+			mu.Enter(ct)
+			close(got)
+			mu.Exit(ct)
+		}, nil, core.CreateOpts{Flags: core.ThreadWait})
+		mu.Exit(self)
+		self.Wait(forever.ID())
+		select {
+		case <-got:
+		default:
+			t.Error("indefinite waiter lost its wakeup after a timed waiter expired")
+		}
+	})
+	waitRT(t, m)
+}
+
+// TestErrorCheckEnterErrDeadlock: EDEADLK surfaces as an error from
+// EnterErr without parking, and MakeConsistent is a no-op on local
+// mutexes.
+func TestErrorCheckEnterErrDeadlock(t *testing.T) {
+	w := newWorld(1)
+	m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+		var mu Mutex
+		mu.Init(VariantErrorCheck)
+		mu.Enter(self)
+		if err := mu.EnterErr(self); err != ErrDeadlock {
+			t.Errorf("recursive EnterErr = %v, want ErrDeadlock", err)
+		}
+		if mu.MakeConsistent(self) {
+			t.Error("MakeConsistent on a local mutex reported a resolved claim")
+		}
+		mu.Exit(self)
+	})
+	waitRT(t, m)
+}
+
+// TestSharedRWClaimBlocksOthers: while an ErrOwnerDead claim is
+// unresolved, other acquirers wait (TryEnter refuses) instead of
+// seeing inconsistent state; MakeConsistent releases them.
+func TestSharedRWClaimBlocksOthers(t *testing.T) {
+	w := newWorld(1)
+	obj := vm.NewAnon(vm.PageSize)
+	m1 := w.boot(t, "writer", core.Config{}, func(self *core.Thread, _ any) {
+		var rw RWLock
+		rw.InitShared(w.reg.Var(obj, 0))
+		rw.Enter(self, RWWriter)
+		// dies holding (voluntary exit counts as owner death)
+	})
+	waitRT(t, m1)
+	m2 := w.boot(t, "claimant", core.Config{}, func(self *core.Thread, _ any) {
+		var rw RWLock
+		rw.InitShared(w.reg.Var(obj, 0))
+		if err := rw.EnterErr(self, RWWriter); err != ErrOwnerDead {
+			t.Errorf("EnterErr = %v, want ErrOwnerDead", err)
+			return
+		}
+		// Claim pending: nobody else gets in, in either mode.
+		if rw.TryEnter(self, RWReader) || rw.TryEnter(self, RWWriter) {
+			t.Error("TryEnter acquired a lock with an unresolved claim")
+		}
+		if !rw.MakeConsistent(self) {
+			t.Error("MakeConsistent refused the claim")
+		}
+		rw.Exit(self)
+		if !rw.TryEnter(self, RWReader) {
+			t.Error("lock unusable after MakeConsistent + Exit")
+		}
+		rw.Exit(self)
+	})
+	waitRT(t, m2)
+}
+
+// TestSharedRWExitWithClaimPoisons: dropping the claim without
+// MakeConsistent yields ErrNotRecoverable forever after.
+func TestSharedRWExitWithClaimPoisons(t *testing.T) {
+	w := newWorld(1)
+	obj := vm.NewAnon(vm.PageSize)
+	m1 := w.boot(t, "writer", core.Config{}, func(self *core.Thread, _ any) {
+		var rw RWLock
+		rw.InitShared(w.reg.Var(obj, 0))
+		rw.Enter(self, RWWriter)
+	})
+	waitRT(t, m1)
+	m2 := w.boot(t, "dropper", core.Config{}, func(self *core.Thread, _ any) {
+		var rw RWLock
+		rw.InitShared(w.reg.Var(obj, 0))
+		if err := rw.EnterErr(self, RWReader); err != ErrOwnerDead {
+			t.Errorf("EnterErr = %v, want ErrOwnerDead", err)
+			return
+		}
+		rw.Exit(self) // no MakeConsistent
+		if err := rw.EnterErr(self, RWReader); err != ErrNotRecoverable {
+			t.Errorf("EnterErr after dropped claim = %v, want ErrNotRecoverable", err)
+		}
+		if err := rw.TimedWrLock(self, time.Millisecond); err != ErrNotRecoverable {
+			t.Errorf("TimedWrLock = %v, want ErrNotRecoverable", err)
+		}
+	})
+	waitRT(t, m2)
+}
+
+// TestSemaTimedPExpires: TimedP on an empty semaphore expires; a V
+// makes the next TimedP succeed.
+func TestSemaTimedPExpires(t *testing.T) {
+	w := newWorld(1)
+	m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+		var s Sema
+		if err := s.TimedP(self, time.Millisecond); err != ErrTimedOut {
+			t.Errorf("TimedP = %v, want ErrTimedOut", err)
+		}
+		s.V(self)
+		if err := s.TimedP(self, time.Millisecond); err != nil {
+			t.Errorf("TimedP after V = %v, want nil", err)
+		}
+	})
+	waitRT(t, m)
+}

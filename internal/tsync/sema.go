@@ -2,6 +2,7 @@ package tsync
 
 import (
 	"sync"
+	"time"
 
 	"sunosmt/internal/core"
 	"sunosmt/internal/usync"
@@ -13,18 +14,28 @@ import (
 // handlers), and they carry state, so they can be used without an
 // associated mutex (paper). The zero value is a semaphore with count
 // zero.
+//
+// Semaphores have no strict owner, so robustness on the shared
+// variant is best-effort: the most recent P-er that has not yet V'd
+// is recorded, and if its process dies the sweep restores the
+// consumed unit and leaves a one-shot owner-dead mark that the next
+// PErr consumes. A death between a V and the next P is invisible, as
+// it is in every robust-semaphore design.
 type Sema struct {
 	mu      sync.Mutex
 	count   uint
+	holder  *core.Thread // most recent P-er without a matching V
 	waiters waitq
+	name    string
 
-	// sv (process-shared variant): word 0 is the count.
+	// sv (process-shared variant): word 0 is the count, word 1 the
+	// most recent holder (pid, tid), word 2 the robust state.
 	sv *usync.Var
 }
 
 // SemaShmSize is the number of bytes a process-shared semaphore
 // occupies in mapped memory.
-const SemaShmSize = 8
+const SemaShmSize = 24
 
 // Init sets the initial count (sema_init).
 func (sp *Sema) Init(count uint) {
@@ -38,6 +49,7 @@ func (sp *Sema) Init(count uint) {
 // shared word is still zero and count is non-zero.
 func (sp *Sema) InitShared(sv *usync.Var, count uint) {
 	sp.sv = sv
+	sv.Declare(usync.KindSema)
 	if count > 0 {
 		sv.Atomically(func(w usync.Words) {
 			if w.Load(0) == 0 {
@@ -47,26 +59,119 @@ func (sp *Sema) InitShared(sv *usync.Var, count uint) {
 	}
 }
 
-// P decrements the semaphore, blocking while the count is zero
-// (sema_p).
-func (sp *Sema) P(t *core.Thread) {
+// Name returns the semaphore's identity for diagnostics.
+func (sp *Sema) Name() string {
 	if sp.sv != nil {
-		sp.pShared(t)
-		return
+		return sp.sv.Name()
 	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.name == "" {
+		sp.name = autoName("sema")
+	}
+	return sp.name
+}
+
+// blockInfo is the wait-for edge for threads parked in P. The
+// resolvable owner is the most recent un-V'd P-er, which makes
+// mutex-style semaphore usage visible to the deadlock detector.
+func (sp *Sema) blockInfo() *core.BlockInfo {
+	name := sp.Name()
+	if sp.sv != nil {
+		return &core.BlockInfo{Kind: "sema", Name: name, Owner: func() (core.OwnerRef, bool) {
+			var ow uint64
+			sp.sv.Atomically(func(w usync.Words) { ow = w.Load(1) })
+			if ow == 0 {
+				return core.OwnerRef{}, false
+			}
+			pid, tid := usync.DecodeOwner(ow)
+			return core.OwnerRef{PID: pid, TID: core.ThreadID(tid)}, true
+		}}
+	}
+	return &core.BlockInfo{Kind: "sema", Name: name, Owner: func() (core.OwnerRef, bool) {
+		sp.mu.Lock()
+		h := sp.holder
+		sp.mu.Unlock()
+		if h == nil {
+			return core.OwnerRef{}, false
+		}
+		return core.OwnerRef{TID: h.ID()}, true
+	}}
+}
+
+// P decrements the semaphore, blocking while the count is zero
+// (sema_p). A pending owner-death mark on a shared semaphore is
+// absorbed silently; use PErr to observe it.
+func (sp *Sema) P(t *core.Thread) {
+	sp.PErr(t)
+}
+
+// PErr is P surfacing the robust protocol of shared semaphores: it
+// returns ErrOwnerDead (with the unit acquired) to the first P after
+// a process died between P and V — the compensating unit restored by
+// the sweep may guard state that needs checking. Unshared semaphores
+// always return nil.
+func (sp *Sema) PErr(t *core.Thread) error {
+	if sp.sv != nil {
+		return sp.pShared(t, 0)
+	}
+	return sp.pLocal(t, 0)
+}
+
+// TimedP is PErr with a deadline, returning ErrTimedOut when d
+// elapses before a unit is available (sema_timedwait).
+func (sp *Sema) TimedP(t *core.Thread, d time.Duration) error {
+	if sp.sv != nil {
+		return sp.pShared(t, d)
+	}
+	return sp.pLocal(t, d)
+}
+
+func (sp *Sema) pLocal(t *core.Thread, d time.Duration) error {
+	clk := t.Runtime().Kernel().Clock()
+	var deadline time.Duration
+	if d > 0 {
+		deadline = clk.Now() + d
+	}
+	var bi *core.BlockInfo
 	for {
 		sp.mu.Lock()
 		if sp.count > 0 {
 			sp.count--
+			sp.holder = t
 			sp.mu.Unlock()
-			return
+			return nil
+		}
+		if d > 0 && clk.Now() >= deadline {
+			sp.mu.Unlock()
+			return ErrTimedOut
 		}
 		sp.waiters.push(t)
 		sp.mu.Unlock()
 		if chaosOf(t).SpuriousWakeup() {
 			t.Checkpoint() // chaos: spurious wakeup, park elided
+		} else if d > 0 {
+			if bi == nil {
+				bi = sp.blockInfo()
+			}
+			t.NoteBlocked(bi)
+			timedOut := parkTimed(t, clk, deadline, func() bool {
+				sp.mu.Lock()
+				removed := sp.waiters.remove(t)
+				sp.mu.Unlock()
+				return removed
+			})
+			t.NoteUnblocked()
+			if timedOut {
+				return ErrTimedOut
+			}
 		} else {
+			if bi == nil {
+				bi = sp.blockInfo()
+			}
+			t.NoteBlocked(bi)
 			t.Park()
+			t.NoteUnblocked()
 		}
 		// Mesa semantics: re-check; a barger may have taken the
 		// count.
@@ -81,9 +186,14 @@ func (sp *Sema) P(t *core.Thread) {
 func (sp *Sema) TryP(t *core.Thread) bool {
 	if sp.sv != nil {
 		ok := false
+		self := ownerWord(t)
 		sp.sv.Atomically(func(w usync.Words) {
 			if c := w.Load(0); c > 0 {
 				w.Store(0, c-1)
+				w.Store(1, self)
+				if w.Load(2) == usync.RobustOwnerDead {
+					w.Store(2, usync.RobustOK) // absorbed silently
+				}
 				ok = true
 			}
 		})
@@ -95,6 +205,7 @@ func (sp *Sema) TryP(t *core.Thread) bool {
 		return false
 	}
 	sp.count--
+	sp.holder = t
 	return true
 }
 
@@ -103,12 +214,24 @@ func (sp *Sema) TryP(t *core.Thread) bool {
 // signal handlers; t may be nil when posting from outside any thread.
 func (sp *Sema) V(t *core.Thread) {
 	if sp.sv != nil {
-		sp.sv.Atomically(func(w usync.Words) { w.Store(0, w.Load(0)+1) })
+		var self uint64
+		if t != nil {
+			self = ownerWord(t)
+		}
+		sp.sv.Atomically(func(w usync.Words) {
+			w.Store(0, w.Load(0)+1)
+			if self != 0 && w.Load(1) == self {
+				w.Store(1, 0) // balanced P/V: no outstanding holder
+			}
+		})
 		sp.sv.Wake(1)
 		return
 	}
 	sp.mu.Lock()
 	sp.count++
+	if t != nil && sp.holder == t {
+		sp.holder = nil
+	}
 	wake := sp.waiters.pop()
 	sp.mu.Unlock()
 	if wake != nil {
@@ -128,15 +251,52 @@ func (sp *Sema) Count() uint {
 	return sp.count
 }
 
-func (sp *Sema) pShared(t *core.Thread) {
+func (sp *Sema) pShared(t *core.Thread, d time.Duration) error {
 	l := t.LWP()
+	self := ownerWord(t)
+	clk := t.Runtime().Kernel().Clock()
+	var deadline time.Duration
+	if d > 0 {
+		deadline = clk.Now() + d
+	}
+	var bi *core.BlockInfo
 	for {
-		if sp.TryP(t) {
-			return
+		var acquired, dead bool
+		sp.sv.Atomically(func(w usync.Words) {
+			if c := w.Load(0); c > 0 {
+				w.Store(0, c-1)
+				w.Store(1, self)
+				if w.Load(2) == usync.RobustOwnerDead {
+					// One-shot: the first P after the death
+					// observes it; later Ps see a normal
+					// semaphore.
+					w.Store(2, usync.RobustOK)
+					dead = true
+				}
+				acquired = true
+			}
+		})
+		if acquired {
+			if dead {
+				return ErrOwnerDead
+			}
+			return nil
 		}
+		if d > 0 && clk.Now() >= deadline {
+			return ErrTimedOut
+		}
+		opts := usync.SleepOpts{}
+		if d > 0 {
+			opts.Timeout = deadline - clk.Now()
+		}
+		if bi == nil {
+			bi = sp.blockInfo()
+		}
+		t.NoteBlocked(bi)
 		sp.sv.SleepWhile(l, func(w usync.Words) bool {
 			return w.Load(0) == 0
-		}, usync.SleepOpts{})
+		}, opts)
+		t.NoteUnblocked()
 		t.Checkpoint()
 	}
 }

@@ -26,11 +26,44 @@
 package tsync
 
 import (
+	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sunosmt/internal/chaos"
 	"sunosmt/internal/core"
 )
+
+// Errors returned by the fallible acquisition entry points (EnterErr,
+// TimedEnter, PErr, ...). They map to the POSIX robust-mutex and
+// timed-lock errno values named in the comments.
+var (
+	// ErrTimedOut: the timed acquisition's deadline expired
+	// (ETIMEDOUT).
+	ErrTimedOut = errors.New("tsync: timed acquisition expired")
+	// ErrOwnerDead: the previous owner died holding the lock; the
+	// caller now holds it and must make the protected state
+	// consistent, then call MakeConsistent — or release, making the
+	// lock permanently unusable (EOWNERDEAD).
+	ErrOwnerDead = errors.New("tsync: previous owner died holding the lock")
+	// ErrNotRecoverable: an owner-dead holder released the lock
+	// without MakeConsistent; it can never be acquired again
+	// (ENOTRECOVERABLE).
+	ErrNotRecoverable = errors.New("tsync: lock is not recoverable")
+	// ErrDeadlock: acquiring would deadlock the calling thread —
+	// it already owns the lock, or the wait-for graph closes a
+	// cycle through it (EDEADLK). Error-check mutexes only.
+	ErrDeadlock = errors.New("tsync: acquisition would deadlock")
+)
+
+// nameSeq numbers the lazily-assigned names of unshared primitives so
+// wait-for edges and /proc lstatus have something to print.
+var nameSeq atomic.Uint64
+
+func autoName(kind string) string {
+	return fmt.Sprintf("%s#%d", kind, nameSeq.Add(1))
+}
 
 // Variant selects a mutex implementation variant, as the paper allows
 // at initialization time.

@@ -502,7 +502,9 @@ func TestSharedMutexStateOutlivesProcess(t *testing.T) {
 	w := newWorld(1)
 	obj := vm.NewAnon(vm.PageSize)
 	// Process 1 locks the mutex and dies without unlocking — the
-	// state (held) persists in the object bytes.
+	// state persists in the object bytes beyond the process's
+	// lifetime: the robust sweep records the death there, and a later
+	// process observes it as ErrOwnerDead.
 	m1 := w.boot(t, "locker", core.Config{}, func(self *core.Thread, _ any) {
 		mu := &Mutex{}
 		mu.InitShared(w.reg.Var(obj, 0))
@@ -512,9 +514,12 @@ func TestSharedMutexStateOutlivesProcess(t *testing.T) {
 	m2 := w.boot(t, "checker", core.Config{}, func(self *core.Thread, _ any) {
 		mu := &Mutex{}
 		mu.InitShared(w.reg.Var(obj, 0))
-		if mu.TryEnter(self) {
-			t.Error("lock state did not persist beyond creating process")
+		if err := mu.EnterErr(self); err != ErrOwnerDead {
+			t.Errorf("EnterErr = %v, want ErrOwnerDead: lock state did not persist beyond creating process", err)
+			return
 		}
+		mu.MakeConsistent(self)
+		mu.Exit(self)
 	})
 	waitRT(t, m2)
 }

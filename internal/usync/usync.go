@@ -46,11 +46,21 @@ type varKey struct {
 type varState struct {
 	wordMu sync.Mutex // models the hardware atomic on the shared words
 	wq     *sim.WaitQ
+	// obj is the backing object, retained so the owner-death sweep
+	// can reach the state words without a per-process handle; kind
+	// tells the sweep which word layout the variable uses. Both are
+	// guarded by Registry.mu.
+	obj  vm.Object
+	kind Kind
 }
 
-// NewRegistry creates a registry bound to a kernel.
+// NewRegistry creates a registry bound to a kernel. The registry
+// hooks process death so shared variables owned by a dead process are
+// marked OWNERDEAD and their waiters woken (robust-mutex semantics).
 func NewRegistry(kern *sim.Kernel) *Registry {
-	return &Registry{kern: kern, vars: make(map[varKey]*varState)}
+	r := &Registry{kern: kern, vars: make(map[varKey]*varState)}
+	kern.AddDeathHook(func(p *sim.Process) { r.SweepOwnerDead(p.PID()) })
+	return r
 }
 
 // Kernel returns the registry's kernel.
@@ -64,7 +74,7 @@ func (r *Registry) Var(obj vm.Object, off int64) *Var {
 	r.mu.Lock()
 	st, ok := r.vars[key]
 	if !ok {
-		st = &varState{wq: sim.NewWaitQ(fmt.Sprintf("usync:%d+%d", key.obj, key.off))}
+		st = &varState{wq: sim.NewWaitQ(fmt.Sprintf("usync:%d+%d", key.obj, key.off)), obj: obj}
 		r.vars[key] = st
 	}
 	r.mu.Unlock()
@@ -91,6 +101,10 @@ type Var struct {
 // WaitQ exposes the variable's kernel wait queue (for tests and
 // debugging tools).
 func (v *Var) WaitQ() *sim.WaitQ { return v.st.wq }
+
+// Name returns the variable's system-wide identity string (the wait
+// queue name), stable across the processes sharing it.
+func (v *Var) Name() string { return v.st.wq.Name() }
 
 // Words provides load/store access to the variable's state words
 // while the word-lock is held.

@@ -155,7 +155,9 @@ func TestFigure3Configurations(t *testing.T) {
 
 // TestFigure1LockLifetimeBeyondProcess pins the paper's claim that a
 // synchronization variable in a file has a lifetime beyond that of
-// the creating process.
+// the creating process: the creator dies holding the lock, and a
+// later process mapping the same file observes the death recorded in
+// the lock's state words (the robust EOWNERDEAD protocol).
 func TestFigure1LockLifetimeBeyondProcess(t *testing.T) {
 	sys := NewSystem(Options{NCPU: 1})
 	// First process creates the file, maps it, takes the lock, and
@@ -172,7 +174,7 @@ func TestFigure1LockLifetimeBeyondProcess(t *testing.T) {
 	})
 	waitProc(t, p1)
 
-	// A later process sees the lock still held.
+	// A later process sees the recorded owner death.
 	p2 := spawn(t, sys, "later", ProcConfig{}, func(p *Proc, tt *Thread) {
 		fd, _ := p.Open(tt, "/tmp/rec.db", ORdWr)
 		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
@@ -181,9 +183,12 @@ func TestFigure1LockLifetimeBeyondProcess(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if mu.TryEnter(tt) {
-			t.Error("lock state did not persist in the file")
+		if err := mu.EnterErr(tt); err != ErrOwnerDead {
+			t.Errorf("EnterErr = %v, want ErrOwnerDead: lock state did not persist in the file", err)
+			return
 		}
+		mu.MakeConsistent(tt)
+		mu.Exit(tt)
 	})
 	waitProc(t, p2)
 }

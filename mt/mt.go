@@ -108,6 +108,50 @@ const (
 	RWWriter          = tsync.RWWriter
 )
 
+// Errors surfaced by the fallible acquisition entry points (EnterErr,
+// TimedEnter, PErr, TimedP, ...): the robust-lock and timed-lock
+// protocol of pthread_mutexattr_setrobust and friends.
+var (
+	// ErrTimedOut: a timed acquisition's deadline expired (ETIMEDOUT).
+	ErrTimedOut = tsync.ErrTimedOut
+	// ErrOwnerDead: the previous owner died holding the lock; the
+	// caller holds it now and must repair the protected state, then
+	// call MakeConsistent before releasing (EOWNERDEAD).
+	ErrOwnerDead = tsync.ErrOwnerDead
+	// ErrNotRecoverable: an owner-dead holder released without
+	// MakeConsistent; the lock is permanently dead (ENOTRECOVERABLE).
+	ErrNotRecoverable = tsync.ErrNotRecoverable
+	// ErrDeadlock: the acquisition would close a wait-for cycle
+	// (EDEADLK); returned by error-check mutexes at lock time.
+	ErrDeadlock = tsync.ErrDeadlock
+)
+
+// Deadlock detection re-exports.
+type (
+	// Deadlock is one detected wait-for cycle.
+	Deadlock = core.Deadlock
+	// DeadlockNode is one thread in a cycle.
+	DeadlockNode = core.DeadlockNode
+	// LockWaiter is one resolved wait-for edge.
+	LockWaiter = core.LockWaiter
+)
+
+// DetectDeadlocks walks the wait-for graph of the given processes —
+// thread → sync object → owning thread, following cross-process
+// ownership recorded in shared variables — in one pass and returns
+// every cycle. The same information is readable at /proc/<pid>/lstatus
+// and via mtstat -locks.
+func DetectDeadlocks(procs ...*Proc) []Deadlock {
+	rts := make([]*core.Runtime, 0, len(procs))
+	for _, p := range procs {
+		rts = append(rts, p.RT)
+	}
+	return core.DetectDeadlocks(rts)
+}
+
+// PID identifies a simulated process.
+type PID = sim.PID
+
 // Signal machinery re-exports.
 type (
 	// Signal is a SVR4-style signal number.
@@ -125,6 +169,7 @@ const (
 	SIGHUP     = sim.SIGHUP
 	SIGINT     = sim.SIGINT
 	SIGILL     = sim.SIGILL
+	SIGABRT    = sim.SIGABRT
 	SIGFPE     = sim.SIGFPE
 	SIGKILL    = sim.SIGKILL
 	SIGBUS     = sim.SIGBUS
@@ -253,6 +298,10 @@ type ProcConfig struct {
 	DisableSigwaiting bool
 	// DefaultStackSize overrides the default thread stack size.
 	DefaultStackSize int
+	// LWPAgeTime, when positive, ages idle pool LWPs out of the
+	// unbound pool after that much idle time — the paper's answer to
+	// pools sized for a burst that has passed. Zero disables aging.
+	LWPAgeTime time.Duration
 }
 
 // Proc is a running UNIX process: kernel process + address space +
@@ -291,6 +340,7 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		MaxAutoLWPs:       cfg.MaxAutoLWPs,
 		DisableSigwaiting: cfg.DisableSigwaiting,
 		DefaultStackSize:  cfg.DefaultStackSize,
+		LWPAgeTime:        cfg.LWPAgeTime,
 		InitialLWP:        initial,
 	})
 	// errno is the canonical unshared variable: register it before

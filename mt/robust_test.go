@@ -1,0 +1,570 @@
+package mt
+
+// Fault containment and recovery: the robust shared-lock protocol
+// (EOWNERDEAD / ENOTRECOVERABLE), deadlock detection (EDEADLK and the
+// system-wide detector), timed acquisition, LWP pool aging, and panic
+// containment. See DESIGN.md "Failure model".
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sunosmt/internal/procfs"
+)
+
+// pollUntil spins (host-side) until cond holds or the deadline
+// passes, reporting whether it held.
+func pollUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// TestRobustMutexKillWhileHolding pins the heart of the robust
+// protocol: a process is SIGKILLed while guaranteed inside a shared
+// critical section; the sweep marks the lock, the next acquirer gets
+// ErrOwnerDead exactly once, and MakeConsistent restores service.
+func TestRobustMutexKillWhileHolding(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	var holding atomic.Bool
+	victim := spawn(t, sys, "victim", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, err := p.SharedMutexAt(tt, va)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Enter(tt)
+		holding.Store(true)
+		for {
+			tt.Checkpoint() // spins holding the lock until killed
+		}
+	})
+	if !pollUntil(10*time.Second, holding.Load) {
+		t.Fatal("victim never entered the critical section")
+	}
+	if err := victim.Kill(SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if _, sig := waitProc(t, victim); sig != SIGKILL {
+		t.Fatalf("victim exit signal = %v, want SIGKILL", sig)
+	}
+
+	survivor := spawn(t, sys, "survivor", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, err := p.SharedMutexAt(tt, va)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := mu.EnterErr(tt); err != ErrOwnerDead {
+			t.Errorf("first acquisition after death = %v, want ErrOwnerDead", err)
+			return
+		}
+		if !mu.MakeConsistent(tt) {
+			t.Error("MakeConsistent refused")
+		}
+		mu.Exit(tt)
+		// The death report is one-shot.
+		if err := mu.EnterErr(tt); err != nil {
+			t.Errorf("second acquisition = %v, want nil", err)
+			return
+		}
+		mu.Exit(tt)
+	})
+	waitProc(t, survivor)
+}
+
+// TestRobustMutexNotRecoverable: releasing an owner-dead lock without
+// MakeConsistent poisons it permanently (ENOTRECOVERABLE), and every
+// later acquisition path reports that instead of hanging.
+func TestRobustMutexNotRecoverable(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1})
+	locker := spawn(t, sys, "locker", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		mu.Enter(tt)
+		tt.ExitProcess(1) // dies holding
+	})
+	waitProc(t, locker)
+
+	after := spawn(t, sys, "after", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		if err := mu.EnterErr(tt); err != ErrOwnerDead {
+			t.Errorf("EnterErr = %v, want ErrOwnerDead", err)
+			return
+		}
+		mu.Exit(tt) // no MakeConsistent: poisons the lock
+		if err := mu.EnterErr(tt); err != ErrNotRecoverable {
+			t.Errorf("EnterErr after poisoning = %v, want ErrNotRecoverable", err)
+		}
+		if mu.TryEnter(tt) {
+			t.Error("TryEnter acquired a not-recoverable lock")
+		}
+		if err := mu.TimedEnter(tt, time.Millisecond); err != ErrNotRecoverable {
+			t.Errorf("TimedEnter = %v, want ErrNotRecoverable", err)
+		}
+	})
+	waitProc(t, after)
+}
+
+// TestRobustRWLockOwnerDeath: a writer dies holding a shared rwlock;
+// the first subsequent acquirer — in either mode — gets ErrOwnerDead
+// and holds an exclusive claim until MakeConsistent.
+func TestRobustRWLockOwnerDeath(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1})
+	writer := spawn(t, sys, "writer", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		rw, _ := p.SharedRWLockAt(tt, va)
+		rw.Enter(tt, RWWriter)
+		tt.ExitProcess(1)
+	})
+	waitProc(t, writer)
+
+	reader := spawn(t, sys, "reader", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		rw, _ := p.SharedRWLockAt(tt, va)
+		if err := rw.EnterErr(tt, RWReader); err != ErrOwnerDead {
+			t.Errorf("EnterErr(reader) = %v, want ErrOwnerDead", err)
+			return
+		}
+		if !rw.MakeConsistent(tt) {
+			t.Error("MakeConsistent refused")
+		}
+		rw.Exit(tt) // release the recovered readers lock
+		// After recovery the lock serves normally.
+		if err := rw.EnterErr(tt, RWWriter); err != nil {
+			t.Errorf("EnterErr(writer) after recovery = %v, want nil", err)
+			return
+		}
+		rw.Exit(tt)
+	})
+	waitProc(t, reader)
+}
+
+// TestRobustSemaOwnerDeath: a process dies between P and V on a
+// shared semaphore; the sweep restores the consumed unit and the next
+// PErr reports the death once.
+func TestRobustSemaOwnerDeath(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1})
+	per := spawn(t, sys, "per", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		s, _ := p.SharedSemaAt(tt, va, 1)
+		s.P(tt)
+		tt.ExitProcess(1) // dies without V
+	})
+	waitProc(t, per)
+
+	after := spawn(t, sys, "after", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		s, _ := p.SharedSemaAt(tt, va, 0)
+		// The compensating V restored the unit, so this must not
+		// block — and it reports the death.
+		if err := s.PErr(tt); err != ErrOwnerDead {
+			t.Errorf("PErr = %v, want ErrOwnerDead", err)
+			return
+		}
+		s.V(tt)
+		if err := s.PErr(tt); err != nil {
+			t.Errorf("second PErr = %v, want nil (one-shot report)", err)
+		}
+	})
+	waitProc(t, after)
+}
+
+// TestKillDuringBlockedSharedAcquisition is the satellite pinning
+// both directions of a SIGKILL landing on a blocked shared-lock
+// acquisition: killing the *waiter* reports the signal in WaitExit
+// and leaves the lock serviceable (no leaked waiter count); killing
+// the *owner* wakes the waiter with ErrOwnerDead.
+func TestKillDuringBlockedSharedAcquisition(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	var ownerHolds atomic.Bool
+	owner := spawn(t, sys, "owner", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		mu.Enter(tt)
+		ownerHolds.Store(true)
+		for {
+			tt.Checkpoint() // holds the lock until killed
+		}
+	})
+	if !pollUntil(10*time.Second, ownerHolds.Load) {
+		t.Fatal("owner never acquired")
+	}
+
+	waiter := spawn(t, sys, "waiter", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		mu.Enter(tt) // blocks forever; killed here
+		t.Error("waiter acquired the lock unexpectedly")
+	})
+	if !pollUntil(10*time.Second, func() bool {
+		return len(waiter.RT.LockWaiters()) > 0
+	}) {
+		t.Fatal("waiter never started blocking")
+	}
+	if err := waiter.Kill(SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if _, sig := waitProc(t, waiter); sig != SIGKILL {
+		t.Fatalf("waiter exit signal = %v, want SIGKILL", sig)
+	}
+
+	// Direction 2: kill the owner while a fresh waiter blocks; the
+	// waiter must wake with ErrOwnerDead, proving the dead waiter did
+	// not corrupt the waiters word and the dead owner marked the lock.
+	got := make(chan error, 1)
+	waiter2 := spawn(t, sys, "waiter2", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		err := mu.EnterErr(tt)
+		got <- err
+		if err == ErrOwnerDead {
+			mu.MakeConsistent(tt)
+			mu.Exit(tt)
+		}
+	})
+	if !pollUntil(10*time.Second, func() bool {
+		return len(waiter2.RT.LockWaiters()) > 0
+	}) {
+		t.Fatal("waiter2 never started blocking")
+	}
+	if err := owner.Kill(SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if _, sig := waitProc(t, owner); sig != SIGKILL {
+		t.Fatalf("owner exit signal = %v, want SIGKILL", sig)
+	}
+	waitProc(t, waiter2)
+	if err := <-got; err != ErrOwnerDead {
+		t.Fatalf("waiter2 EnterErr = %v, want ErrOwnerDead", err)
+	}
+}
+
+// TestErrorCheckSelfDeadlock: an error-check mutex detects
+// self-deadlock at lock time — EDEADLK, no parking.
+func TestErrorCheckSelfDeadlock(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 1})
+	p := spawn(t, sys, "edeadlk", ProcConfig{}, func(p *Proc, tt *Thread) {
+		var mu Mutex
+		mu.Init(VariantErrorCheck)
+		mu.Enter(tt)
+		if err := mu.EnterErr(tt); err != ErrDeadlock {
+			t.Errorf("recursive EnterErr = %v, want ErrDeadlock", err)
+		}
+		mu.Exit(tt)
+	})
+	waitProc(t, p)
+}
+
+// TestErrorCheckABBADeadlock: two threads in one process close an
+// ABBA cycle; the error-check mutex walks the wait-for graph at lock
+// time and returns EDEADLK to the thread that would complete it.
+func TestErrorCheckABBADeadlock(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	p := spawn(t, sys, "abba", ProcConfig{}, func(p *Proc, tt *Thread) {
+		var a, b Mutex
+		a.Init(VariantErrorCheck)
+		b.Init(VariantErrorCheck)
+		rt := tt.Runtime()
+		rt.SetConcurrency(2) // the child needs its own LWP while tt polls
+		a.Enter(tt)
+		c, _ := rt.Create(func(ct *Thread, _ any) {
+			b.Enter(ct)
+			a.Enter(ct) // blocks: tt holds a
+			a.Exit(ct)
+			b.Exit(ct)
+		}, nil, CreateOpts{Flags: ThreadWait})
+		// Wait until the child is actually blocked on a.
+		if !pollUntil(10*time.Second, func() bool {
+			for _, w := range rt.LockWaiters() {
+				if w.TID == c.ID() && w.HasOwner {
+					return true
+				}
+			}
+			return false
+		}) {
+			t.Error("child never blocked on a")
+			return
+		}
+		if err := b.EnterErr(tt); err != ErrDeadlock {
+			t.Errorf("EnterErr closing ABBA cycle = %v, want ErrDeadlock", err)
+		}
+		a.Exit(tt) // child proceeds
+		tt.Wait(c.ID())
+	})
+	waitProc(t, p)
+}
+
+// TestTimedAcquisition: every timed entry point expires with
+// ErrTimedOut while contended and succeeds after release — local and
+// shared variants.
+func TestTimedAcquisition(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	p := spawn(t, sys, "timed", ProcConfig{}, func(p *Proc, tt *Thread) {
+		rt := tt.Runtime()
+		var mu Mutex
+		var rw RWLock
+		var s Sema // count 0: P blocks
+		mu.Enter(tt)
+		rw.Enter(tt, RWWriter)
+		c, _ := rt.Create(func(ct *Thread, _ any) {
+			if err := mu.TimedEnter(ct, 2*time.Millisecond); err != ErrTimedOut {
+				t.Errorf("TimedEnter = %v, want ErrTimedOut", err)
+			}
+			if err := rw.TimedRdLock(ct, 2*time.Millisecond); err != ErrTimedOut {
+				t.Errorf("TimedRdLock = %v, want ErrTimedOut", err)
+			}
+			if err := rw.TimedWrLock(ct, 2*time.Millisecond); err != ErrTimedOut {
+				t.Errorf("TimedWrLock = %v, want ErrTimedOut", err)
+			}
+			if err := s.TimedP(ct, 2*time.Millisecond); err != ErrTimedOut {
+				t.Errorf("TimedP = %v, want ErrTimedOut", err)
+			}
+		}, nil, CreateOpts{Flags: ThreadWait})
+		tt.Wait(c.ID())
+		mu.Exit(tt)
+		rw.Exit(tt)
+		s.V(tt)
+		// Uncontended timed acquisitions succeed.
+		if err := mu.TimedEnter(tt, time.Millisecond); err != nil {
+			t.Errorf("uncontended TimedEnter = %v", err)
+		} else {
+			mu.Exit(tt)
+		}
+		if err := rw.TimedWrLock(tt, time.Millisecond); err != nil {
+			t.Errorf("uncontended TimedWrLock = %v", err)
+		} else {
+			rw.Exit(tt)
+		}
+		if err := s.TimedP(tt, time.Millisecond); err != nil {
+			t.Errorf("uncontended TimedP = %v", err)
+		}
+	})
+	waitProc(t, p)
+}
+
+// TestTimedSharedAcquisition: the kernel timeout path of the shared
+// variants (usync SleepOpts.Timeout).
+func TestTimedSharedAcquisition(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	var holding atomic.Bool
+	done := make(chan struct{})
+	holder := spawn(t, sys, "holder", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", OCreate|ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		rw, _ := p.SharedRWLockAt(tt, va+64)
+		mu.Enter(tt)
+		rw.Enter(tt, RWWriter)
+		holding.Store(true)
+		for {
+			select {
+			case <-done:
+				rw.Exit(tt)
+				mu.Exit(tt)
+				return
+			default:
+				tt.Checkpoint()
+			}
+		}
+	})
+	if !pollUntil(10*time.Second, holding.Load) {
+		t.Fatal("holder never acquired")
+	}
+	waiter := spawn(t, sys, "waiter", ProcConfig{}, func(p *Proc, tt *Thread) {
+		fd, _ := p.Open(tt, "/shm", ORdWr)
+		va, _ := p.Mmap(tt, 0, PageSize, ProtRead|ProtWrite, MapShared, fd, 0)
+		mu, _ := p.SharedMutexAt(tt, va)
+		rw, _ := p.SharedRWLockAt(tt, va+64)
+		s, _ := p.SharedSemaAt(tt, va+128, 0)
+		if err := mu.TimedEnter(tt, 2*time.Millisecond); err != ErrTimedOut {
+			t.Errorf("shared TimedEnter = %v, want ErrTimedOut", err)
+		}
+		if err := rw.TimedRdLock(tt, 2*time.Millisecond); err != ErrTimedOut {
+			t.Errorf("shared TimedRdLock = %v, want ErrTimedOut", err)
+		}
+		if err := s.TimedP(tt, 2*time.Millisecond); err != ErrTimedOut {
+			t.Errorf("shared TimedP = %v, want ErrTimedOut", err)
+		}
+	})
+	waitProc(t, waiter)
+	close(done)
+	waitProc(t, holder)
+}
+
+// TestPanicContainment: a panicking thread body aborts only its own
+// simulated process — SIGABRT with a core trace, reported through
+// WaitExit — while other processes and the host binary continue.
+func TestPanicContainment(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	var otherRan atomic.Bool
+	other := spawn(t, sys, "bystander", ProcConfig{}, func(p *Proc, tt *Thread) {
+		p.Sleep(tt, 5*time.Millisecond)
+		otherRan.Store(true)
+	})
+	bad := spawn(t, sys, "panicker", ProcConfig{}, func(p *Proc, tt *Thread) {
+		c, _ := tt.Runtime().Create(func(ct *Thread, _ any) {
+			panic("boom: simulated application bug")
+		}, nil, CreateOpts{Flags: ThreadWait})
+		tt.Wait(c.ID()) // never returns: the panic kills the process
+		t.Error("panicking process continued past Wait")
+	})
+	if _, sig := waitProc(t, bad); sig != SIGABRT {
+		t.Fatalf("panicker exit signal = %v, want SIGABRT", sig)
+	}
+	if !bad.Process().DumpedCore() {
+		t.Error("panic abort did not dump core")
+	}
+	if msg := bad.Process().AbortMessage(); !strings.Contains(msg, "boom") {
+		t.Errorf("abort message %q does not carry the panic value", msg)
+	}
+	waitProc(t, other)
+	if !otherRan.Load() {
+		t.Error("bystander process was disturbed by the panic")
+	}
+}
+
+// TestLWPAging: the pool grows for a burst (THREAD_NEW_LWP here;
+// SIGWAITING growth feeds the same pool); after the burst, idle LWPs
+// age out down toward one.
+func TestLWPAging(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	p := spawn(t, sys, "aging", ProcConfig{LWPAgeTime: 20 * time.Millisecond},
+		func(p *Proc, tt *Thread) {
+			rt := tt.Runtime()
+			var ids []ThreadID
+			for i := 0; i < 3; i++ {
+				c, _ := rt.Create(func(ct *Thread, _ any) {
+					ct.Yield()
+				}, nil, CreateOpts{Flags: ThreadWait | ThreadNewLWP})
+				ids = append(ids, c.ID())
+			}
+			for _, id := range ids {
+				tt.Wait(id)
+			}
+			if grown := rt.PoolSize(); grown < 2 {
+				t.Errorf("pool did not grow (size %d)", grown)
+				return
+			}
+			// Main thread stays busy at user level while the extra
+			// LWPs sit idle and age out.
+			if !pollUntil(10*time.Second, func() bool { return rt.AgedOut() > 0 }) {
+				t.Errorf("no LWP aged out (pool %d)", rt.PoolSize())
+				return
+			}
+			// The runtime still runs new threads correctly after
+			// shrinking.
+			c, _ := rt.Create(func(*Thread, any) {}, nil, CreateOpts{Flags: ThreadWait})
+			tt.Wait(c.ID())
+		})
+	waitProc(t, p)
+}
+
+// TestLstatusReportsEdgesAndDeadlocks: /proc/<pid>/lstatus shows the
+// wait-for edges with resolved owners and any detected cycles; the
+// threads file carries the BLOCKED-ON column.
+func TestLstatusReportsEdgesAndDeadlocks(t *testing.T) {
+	sys := NewSystem(Options{NCPU: 2})
+	pfs, err := procfs.Mount(sys.Kern, sys.FS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var blocked atomic.Bool
+	p := spawn(t, sys, "edges", ProcConfig{}, func(p *Proc, tt *Thread) {
+		tt.Runtime().SetConcurrency(2) // child runs while tt blocks host-side
+		var mu Mutex
+		mu.Enter(tt)
+		c, _ := tt.Runtime().Create(func(ct *Thread, _ any) {
+			blocked.Store(true)
+			mu.Enter(ct)
+			mu.Exit(ct)
+		}, nil, CreateOpts{Flags: ThreadWait})
+		<-release
+		mu.Exit(tt)
+		tt.Wait(c.ID())
+	})
+	pfs.RegisterRuntime(p.RT)
+	if !pollUntil(10*time.Second, func() bool {
+		for _, w := range p.RT.LockWaiters() {
+			if w.Kind == "mutex" && w.HasOwner {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("no blocked mutex waiter appeared")
+	}
+	if err := pfs.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	reader := spawn(t, sys, "reader", ProcConfig{}, func(rp *Proc, tt *Thread) {
+		read := func(path string) string {
+			fd, err := rp.Open(tt, path, ORdOnly)
+			if err != nil {
+				t.Errorf("open %s: %v", path, err)
+				return ""
+			}
+			defer rp.Close(tt, fd)
+			var out []byte
+			buf := make([]byte, 512)
+			for {
+				n, err := rp.Read(tt, fd, buf)
+				out = append(out, buf[:n]...)
+				if err != nil {
+					return string(out)
+				}
+			}
+		}
+		base := "/proc/" + itoa(int(p.PID()))
+		ls := read(base + "/lstatus")
+		if !strings.Contains(ls, "mutex") {
+			t.Errorf("lstatus has no mutex edge:\n%s", ls)
+		}
+		if !strings.Contains(ls, "deadlocks: 0") {
+			t.Errorf("lstatus reports deadlocks in a deadlock-free process:\n%s", ls)
+		}
+		th := read(base + "/threads")
+		if !strings.Contains(th, "mutex:") {
+			t.Errorf("threads file has no BLOCKED-ON mutex entry:\n%s", th)
+		}
+	})
+	waitProc(t, reader)
+	close(release)
+	waitProc(t, p)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
