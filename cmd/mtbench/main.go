@@ -6,11 +6,17 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5|6|0] [-json file]
+//	mtbench [-n iterations] [-fig 5|6|0] [-json file] [-baseline file] [-threshold x]
 //
 // -json additionally writes the measured rows as a JSON document (see
 // BENCH_baseline.json for the committed reference run), so successive
 // runs can be diffed mechanically.
+//
+// -baseline compares the run against a previously written JSON
+// document row by row (matched on figure and name) and exits non-zero
+// if any row's per-op time regressed by more than -threshold (default
+// 1.5x). CI runs this against the committed baseline as a regression
+// gate.
 //
 // The absolute numbers measure the simulation substrate on the host;
 // the reproduced result is the shape — which rows involve the kernel
@@ -56,10 +62,61 @@ func toJSONRows(fig int, rows []benchkit.Row) []jsonRow {
 	return out
 }
 
+// compareBaseline checks doc against the baseline JSON at path,
+// matching rows on (figure, name) and comparing per-op times. It
+// prints one line per row and returns the rows that regressed by more
+// than threshold. Rows present on only one side are reported but
+// never fail the gate (the benchmark set may grow).
+func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base jsonDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	type key struct {
+		fig  int
+		name string
+	}
+	baseBy := make(map[key]jsonRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseBy[key{r.Figure, r.Name}] = r
+	}
+	fmt.Printf("Baseline comparison vs %s (threshold %.2fx):\n", path, threshold)
+	fmt.Printf("  %-28s %12s %12s %8s\n", "row", "base us/op", "now us/op", "ratio")
+	var regressed []string
+	for _, r := range doc.Rows {
+		b, ok := baseBy[key{r.Figure, r.Name}]
+		if !ok {
+			fmt.Printf("  %-28s %12s %12.3f %8s (new row, not gated)\n", r.Name, "-", r.PerOpUS, "-")
+			continue
+		}
+		delete(baseBy, key{r.Figure, r.Name})
+		ratio := 0.0
+		if b.PerOpUS > 0 {
+			ratio = r.PerOpUS / b.PerOpUS
+		}
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (%.3f -> %.3f us/op, %.2fx)", r.Name, b.PerOpUS, r.PerOpUS, ratio))
+		}
+		fmt.Printf("  %-28s %12.3f %12.3f %7.2fx %s\n", r.Name, b.PerOpUS, r.PerOpUS, ratio, verdict)
+	}
+	for k := range baseBy {
+		fmt.Printf("  %-28s missing from this run (fig %d)\n", k.name, k.fig)
+	}
+	return regressed, nil
+}
+
 func main() {
 	n := flag.Int("n", 20000, "iterations per measurement")
 	fig := flag.Int("fig", 0, "which figure to run (5 or 6; 0 = both)")
 	jsonPath := flag.String("json", "", "also write rows as JSON to this file (- for stdout)")
+	basePath := flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
+	threshold := flag.Float64("threshold", 1.5, "per-op regression ratio tolerated by -baseline")
 	flag.Parse()
 
 	switch *fig {
@@ -91,6 +148,21 @@ func main() {
 			os.Stdout.Write(b)
 		} else if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "mtbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *basePath != "" {
+		fmt.Println()
+		regressed, err := compareBaseline(doc, *basePath, *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mtbench:", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "mtbench: %d row(s) regressed beyond %.2fx:\n", len(regressed), *threshold)
+			for _, r := range regressed {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
 			os.Exit(1)
 		}
 	}

@@ -238,6 +238,148 @@ func CrossProcessSync(n int) time.Duration {
 	return elapsed
 }
 
+// DispatchLatency measures the user-level dispatch hot path — one
+// push plus one pop of the run queue, through a full Yield — with
+// `queued` unrelated runnable threads resident in the queue. The
+// measuring thread runs at a priority above the crowd, so every Yield
+// re-queues and immediately re-dispatches it while the crowd stays
+// queued. A dispatcher whose pop scans the queue shows per-op cost
+// growing with `queued`; the per-priority bitmap queue is O(1).
+func DispatchLatency(queued, n int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		if _, err := r.SetPriority(t, 10); err != nil {
+			panic(err)
+		}
+		for i := 0; i < queued; i++ {
+			if _, err := r.Create(noop, nil, mt.CreateOpts{}); err != nil {
+				panic(err)
+			}
+		}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			t.Yield()
+		}
+		elapsed = time.Since(start)
+		// Returning lets the crowd drain and the process exit.
+	}, nil, mt.ProcConfig{DefaultStackSize: 4096})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+// BroadcastWake measures multi-thread wakeup throughput: `waiters`
+// threads block on one condition variable; each round broadcasts,
+// every waiter re-checks the generation and parks again, and the
+// round ends when all of them are queued once more. The reported
+// duration covers rounds*waiters wakeups.
+func BroadcastWake(waiters, rounds int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		var mu mt.Mutex
+		var cv mt.Cond
+		gen, stop := 0, false
+		var ids []mt.ThreadID
+		for i := 0; i < waiters; i++ {
+			c, err := r.Create(func(c *mt.Thread, _ any) {
+				mu.Enter(c)
+				for !stop {
+					g := gen
+					for gen == g && !stop {
+						cv.Wait(c, &mu)
+					}
+				}
+				mu.Exit(c)
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, c.ID())
+		}
+		settle := func() {
+			for cv.Waiters() < waiters {
+				t.Yield()
+			}
+		}
+		settle()
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			mu.Enter(t)
+			gen++
+			cv.Broadcast(t)
+			mu.Exit(t)
+			settle()
+		}
+		elapsed = time.Since(start)
+		mu.Enter(t)
+		stop = true
+		cv.Broadcast(t)
+		mu.Exit(t)
+		for _, id := range ids {
+			t.Wait(id)
+		}
+	}, nil, mt.ProcConfig{DefaultStackSize: 4096})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
+// ContendedMutex measures adaptive (default-variant) mutex throughput
+// under contention: `workers` threads on `lwps` LWPs each perform
+// `per` enter/exit pairs on one mutex with an empty critical section.
+// The reported duration covers workers*per acquisitions.
+func ContendedMutex(lwps, workers, per int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: lwps})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		if err := r.SetConcurrency(lwps); err != nil {
+			panic(err)
+		}
+		var mu mt.Mutex
+		var ids []mt.ThreadID
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			c, err := r.Create(func(c *mt.Thread, _ any) {
+				for i := 0; i < per; i++ {
+					mu.Enter(c)
+					mu.Exit(c)
+				}
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			t.Wait(id)
+		}
+		elapsed = time.Since(start)
+	}, nil, mt.ProcConfig{DefaultStackSize: 4096})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
 // Row is one line of a paper-style results table.
 type Row struct {
 	Name     string

@@ -57,6 +57,10 @@ type Config struct {
 	// DefaultStackSize is used when thread_create is given no
 	// stack (default 64 KiB, simulated).
 	DefaultStackSize int
+	// StackCacheSize caps how many library-allocated default stacks
+	// are kept for reuse after their threads exit (default 32) —
+	// the cache behind Figure 5's "default stack" creation time.
+	StackCacheSize int
 	// DisableSigwaiting turns off automatic LWP creation on
 	// SIGWAITING — the ablation knob for the deadlock-avoidance
 	// experiment.
@@ -99,8 +103,7 @@ type Runtime struct {
 	concurrency int // thread_setconcurrency target; 0 = automatic
 
 	zombies   map[ThreadID]*Thread // THREAD_WAIT zombies awaiting thread_wait
-	waiters   map[ThreadID][]*Thread
-	anyWait   []*Thread
+	anyWC     WaitChan             // thread_wait(0) callers sleep here
 	tsdKeys   []tsdEntry
 	dying     bool
 	exitWG    sync.WaitGroup // animator goroutines
@@ -137,6 +140,9 @@ func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
 	if cfg.DefaultStackSize <= 0 {
 		cfg.DefaultStackSize = 64 << 10
 	}
+	if cfg.StackCacheSize <= 0 {
+		cfg.StackCacheSize = 32
+	}
 	m := &Runtime{
 		kern:     kern,
 		proc:     proc,
@@ -144,7 +150,7 @@ func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
 		tr:       cfg.Trace,
 		threads:  make(map[ThreadID]*Thread),
 		zombies:  make(map[ThreadID]*Thread),
-		waiters:  make(map[ThreadID][]*Thread),
+		anyWC:    AllocWaitChan(),
 		exitedCh: make(chan struct{}),
 	}
 	// The library consumes SIGWAITING privately (the hook is its
@@ -223,6 +229,7 @@ func (m *Runtime) sweepDying() {
 		}
 	}
 	m.runq.clear()
+	m.stackCache = nil // shutdown releases the stack cache
 	m.mu.Unlock()
 	for _, t := range parked {
 		select {
@@ -414,6 +421,7 @@ func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
 	first := !t.started
 	t.started = true
 	m.mu.Unlock()
+	t.onCPU.Store(true)
 
 	// The LWP assumes the thread's identity: its signal mask.
 	m.kern.SetLWPMask(pl.l, sim.SigSetMask, t.mask())

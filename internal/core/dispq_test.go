@@ -1,0 +1,303 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDispatchOrder pins the priority semantics the dispatcher queue
+// must preserve: FIFO among equal priorities, higher priorities first,
+// and SetPriority on a queued runnable thread taking effect at the
+// next pop (the thread moves to its new level immediately, not at
+// some later requeue).
+func TestDispatchOrder(t *testing.T) {
+	cases := []struct {
+		name  string
+		prios []int
+		// setPrio, if non-nil, re-prioritizes queued threads
+		// (index -> new priority) before any of them has run.
+		setPrio map[int]int
+		want    []int // completion order, as indices into prios
+	}{
+		{
+			name:  "fifo-among-equals",
+			prios: []int{1, 1, 1, 1},
+			want:  []int{0, 1, 2, 3},
+		},
+		{
+			name:  "higher-priority-first",
+			prios: []int{1, 5, 3},
+			want:  []int{1, 2, 0},
+		},
+		{
+			name:  "equal-within-levels",
+			prios: []int{2, 7, 2, 7},
+			want:  []int{1, 3, 0, 2},
+		},
+		{
+			name:    "setpriority-boost-next-pop",
+			prios:   []int{1, 1, 1},
+			setPrio: map[int]int{2: 10},
+			want:    []int{2, 0, 1},
+		},
+		{
+			name:    "setpriority-demote-next-pop",
+			prios:   []int{5, 5, 2},
+			setPrio: map[int]int{0: 1},
+			want:    []int{1, 2, 0},
+		},
+		{
+			name:    "setpriority-requeues-at-new-level-tail",
+			prios:   []int{3, 3, 1},
+			setPrio: map[int]int{2: 3}, // joins level 3 behind its equals
+			want:    []int{0, 1, 2},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// One LWP: the main thread holds it, so created
+			// threads stay queued until main blocks in Wait.
+			m := rt(t, 1, Config{}, func(self *Thread, _ any) {
+				r := self.Runtime()
+				order := make(chan int, len(tc.prios))
+				ths := make([]*Thread, len(tc.prios))
+				for i, prio := range tc.prios {
+					i := i
+					th, err := r.Create(func(*Thread, any) {
+						order <- i
+					}, nil, CreateOpts{Flags: ThreadWait, Priority: prio})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					ths[i] = th
+				}
+				for idx, prio := range tc.setPrio {
+					if _, err := r.SetPriority(ths[idx], prio); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for _, th := range ths {
+					self.Wait(th.ID())
+				}
+				for _, want := range tc.want {
+					if got := <-order; got != want {
+						t.Errorf("completion order: got thread %d, want %d", got, want)
+					}
+				}
+			})
+			waitExit(t, m)
+		})
+	}
+}
+
+// TestStopRemovesQueuedThreadOnce: thread_stop on a queued runnable
+// thread dequeues it exactly once — the body never runs before
+// Continue, runs exactly once after, and a second Stop of the already
+// stopped thread is a no-op.
+func TestStopRemovesQueuedThreadOnce(t *testing.T) {
+	var runs atomic.Int64
+	m := rt(t, 1, Config{}, func(self *Thread, _ any) {
+		r := self.Runtime()
+		th, err := r.Create(func(*Thread, any) {
+			runs.Add(1)
+		}, nil, CreateOpts{Flags: ThreadWait})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Queued, never run (main holds the only LWP).
+		if err := self.Stop(th); err != nil {
+			t.Errorf("Stop: %v", err)
+		}
+		if got := th.State(); got != ThreadStopped {
+			t.Errorf("state after stop = %v, want stopped", got)
+		}
+		if err := self.Stop(th); err != nil { // second stop: no-op
+			t.Errorf("second Stop: %v", err)
+		}
+		self.Yield() // would dispatch th if the remove had missed
+		if n := runs.Load(); n != 0 {
+			t.Errorf("stopped thread ran %d times before Continue", n)
+		}
+		if err := r.Continue(th); err != nil {
+			t.Errorf("Continue: %v", err)
+		}
+		if _, err := self.Wait(th.ID()); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		if n := runs.Load(); n != 1 {
+			t.Errorf("thread body ran %d times, want exactly 1", n)
+		}
+	})
+	waitExit(t, m)
+}
+
+// TestSleepqRemoveOnlyTarget is the regression test for the
+// thread_wait deregistration bug: removing one waiter from a wait
+// channel must leave every other registered waiter queued (the old
+// code dropped the whole registration list for the id).
+func TestSleepqRemoveOnlyTarget(t *testing.T) {
+	wc := AllocWaitChan()
+	a, b, c := &Thread{id: 1}, &Thread{id: 2}, &Thread{id: 3}
+	wc.Enqueue(a)
+	wc.Enqueue(b)
+	wc.Enqueue(c)
+	if !wc.Remove(b) {
+		t.Fatal("Remove(b) = false, want true")
+	}
+	if wc.Remove(b) {
+		t.Fatal("second Remove(b) = true, want false")
+	}
+	if got := wc.Len(); got != 2 {
+		t.Fatalf("Len after removing one of three = %d, want 2", got)
+	}
+	if got := wc.DequeueOne(); got != a {
+		t.Fatalf("first remaining waiter = %v, want a", got)
+	}
+	if got := wc.DequeueOne(); got != c {
+		t.Fatalf("second remaining waiter = %v, want c", got)
+	}
+	if got := wc.DequeueOne(); got != nil {
+		t.Fatalf("DequeueOne on empty = %v, want nil", got)
+	}
+}
+
+// TestAnyWaitSurvivesSpuriousWake: a Wait(0) caller that wakes without
+// its zombie (here: an explicit spurious Unpark) must re-register and
+// still reap a later exit, and a concurrent second any-waiter must not
+// lose its registration when the first deregisters.
+func TestAnyWaitSurvivesSpuriousWake(t *testing.T) {
+	m := rt(t, 2, Config{}, func(self *Thread, _ any) {
+		r := self.Runtime()
+		r.SetConcurrency(2)
+		reaped := make(chan ThreadID, 2)
+		// The waiters are not THREAD_WAIT themselves: a finished
+		// waiter must not become a zombie the other's Wait(0) reaps.
+		w1, err := r.Create(func(c *Thread, _ any) {
+			id, err := c.Wait(0)
+			if err != nil {
+				t.Errorf("waiter 1: %v", err)
+				return
+			}
+			reaped <- id
+		}, nil, CreateOpts{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Let w1 park in Wait(0), then wake it spuriously: it must
+		// deregister only itself and re-register.
+		for w1.State() != ThreadWaiting {
+			self.Yield()
+		}
+		w1.Unpark()
+		w2, err := r.Create(func(c *Thread, _ any) {
+			id, err := c.Wait(0)
+			if err != nil {
+				t.Errorf("waiter 2: %v", err)
+				return
+			}
+			reaped <- id
+		}, nil, CreateOpts{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Two exiting children: each waiter must reap exactly one.
+		c1, _ := r.Create(func(*Thread, any) {}, nil, CreateOpts{Flags: ThreadWait})
+		c2, _ := r.Create(func(*Thread, any) {}, nil, CreateOpts{Flags: ThreadWait})
+		got := map[ThreadID]bool{<-reaped: true, <-reaped: true}
+		if !got[c1.ID()] || !got[c2.ID()] {
+			t.Errorf("reaped %v, want {%d, %d}", got, c1.ID(), c2.ID())
+		}
+		_ = w1
+		_ = w2
+	})
+	waitExit(t, m)
+}
+
+// TestTargetedWaitSurvivesSpuriousWake: same for Wait(id) — after a
+// spurious wake the caller deregisters only itself from the target's
+// channel and still completes when the target exits.
+func TestTargetedWaitSurvivesSpuriousWake(t *testing.T) {
+	m := rt(t, 2, Config{}, func(self *Thread, _ any) {
+		r := self.Runtime()
+		r.SetConcurrency(2)
+		var release atomic.Bool
+		child, err := r.Create(func(c *Thread, _ any) {
+			for !release.Load() {
+				c.Yield()
+			}
+		}, nil, CreateOpts{Flags: ThreadWait})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done := make(chan error, 1)
+		w, err := r.Create(func(c *Thread, _ any) {
+			id, err := c.Wait(child.ID())
+			if err == nil && id != child.ID() {
+				t.Errorf("Wait returned %d, want %d", id, child.ID())
+			}
+			done <- err
+		}, nil, CreateOpts{Flags: ThreadWait})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for w.State() != ThreadWaiting {
+			self.Yield()
+		}
+		w.Unpark() // spurious: the child has not exited
+		for i := 0; i < 3; i++ {
+			self.Yield() // let the waiter loop and re-register
+		}
+		release.Store(true)
+		if err := <-done; err != nil {
+			t.Errorf("targeted wait after spurious wake: %v", err)
+		}
+		self.Wait(w.ID())
+	})
+	waitExit(t, m)
+}
+
+// TestRunqStats: depth and per-priority occupancy reflect the queued
+// threads (mtstat's view of the dispatcher).
+func TestRunqStats(t *testing.T) {
+	m := rt(t, 1, Config{}, func(self *Thread, _ any) {
+		r := self.Runtime()
+		var ths []*Thread
+		for _, prio := range []int{1, 1, 3, 7, 7, 7} {
+			th, err := r.Create(func(*Thread, any) {}, nil,
+				CreateOpts{Flags: ThreadWait, Priority: prio})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ths = append(ths, th)
+		}
+		depth, occ := r.RunqStats()
+		if depth != 6 {
+			t.Errorf("depth = %d, want 6", depth)
+		}
+		want := []PrioCount{{1, 2}, {3, 1}, {7, 3}}
+		if len(occ) != len(want) {
+			t.Fatalf("occupancy = %v, want %v", occ, want)
+		}
+		for i := range want {
+			if occ[i] != want[i] {
+				t.Errorf("occupancy[%d] = %v, want %v", i, occ[i], want[i])
+			}
+		}
+		for _, th := range ths {
+			self.Wait(th.ID())
+		}
+		if depth, occ := r.RunqStats(); depth != 0 || len(occ) != 0 {
+			t.Errorf("after drain: depth=%d occ=%v, want empty", depth, occ)
+		}
+	})
+	waitExit(t, m)
+}

@@ -13,10 +13,10 @@
 //     pass and reports every cycle, surfaced through /proc lstatus
 //     and mtstat -locks.
 //
-// Locking: a thread's BlockInfo is guarded by Runtime.mu. Owner
-// resolution closures take the sync object's own lock, so they are
-// only ever invoked with Runtime.mu released — the walkers snapshot
-// under mu and resolve after unlocking.
+// Locking: a thread's BlockInfo is an atomic pointer, so publishing
+// an edge on the park/unpark hot path never touches Runtime.mu. Owner
+// resolution closures take the sync object's own lock, so the walkers
+// snapshot the edges first and resolve owners afterwards.
 package core
 
 import (
@@ -48,24 +48,18 @@ type BlockInfo struct {
 // NoteBlocked publishes that the thread is about to park waiting for
 // the described object. Paired with NoteUnblocked.
 func (t *Thread) NoteBlocked(bi *BlockInfo) {
-	t.m.mu.Lock()
-	t.blocked = bi
-	t.m.mu.Unlock()
+	t.blocked.Store(bi)
 }
 
 // NoteUnblocked clears the thread's blocked-on record.
 func (t *Thread) NoteUnblocked() {
-	t.m.mu.Lock()
-	t.blocked = nil
-	t.m.mu.Unlock()
+	t.blocked.Store(nil)
 }
 
 // BlockedOn returns the thread's current blocked-on record (nil when
 // it is not blocked on a synchronization object).
 func (t *Thread) BlockedOn() *BlockInfo {
-	t.m.mu.Lock()
-	defer t.m.mu.Unlock()
-	return t.blocked
+	return t.blocked.Load()
 }
 
 // LockWaiter is one resolved wait-for edge: thread TID is blocked on
@@ -88,8 +82,8 @@ func (m *Runtime) LockWaiters() []LockWaiter {
 	m.mu.Lock()
 	var rs []raw
 	for id, t := range m.threads {
-		if t.blocked != nil {
-			rs = append(rs, raw{id, t.blocked})
+		if bi := t.blocked.Load(); bi != nil {
+			rs = append(rs, raw{id, bi})
 		}
 	}
 	m.mu.Unlock()
@@ -120,9 +114,7 @@ func (m *Runtime) WouldDeadlock(t, owner *Thread) bool {
 			return true
 		}
 		visited[cur.id] = true
-		m.mu.Lock()
-		bi := cur.blocked
-		m.mu.Unlock()
+		bi := cur.blocked.Load()
 		if bi == nil || bi.Owner == nil {
 			return false
 		}

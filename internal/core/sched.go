@@ -1,6 +1,9 @@
 package core
 
 import (
+	"math/bits"
+	"sort"
+
 	"sunosmt/internal/chaos"
 	"sunosmt/internal/sim"
 )
@@ -9,59 +12,205 @@ import (
 // control interfaces: thread_wait, thread_stop, thread_continue,
 // thread_priority.
 
-// runQueue is the priority run queue of unbound runnable threads:
-// highest priority first, FIFO among equal priorities.
-type runQueue struct {
-	q []*Thread
+// NumPrioLevels is the number of dispatch-queue levels of the run
+// queue, mirroring Solaris's fixed array of per-priority dispatch
+// queues (disp_q) indexed by an active-priority bitmap (dqactmap).
+// Priorities at or above the cap share the top level: they still beat
+// every lower priority, but are FIFO among themselves.
+const NumPrioLevels = 128
+
+// prioLevel maps a thread priority onto its dispatch-queue level.
+func prioLevel(prio int) int {
+	if prio >= NumPrioLevels {
+		return NumPrioLevels - 1
+	}
+	return prio
 }
 
-func (r *runQueue) len() int { return len(r.q) }
+// runQueue is the priority run queue of unbound runnable threads:
+// one FIFO ring per priority level plus a bitmap of occupied levels,
+// so push, pop, remove and maxPrio are all O(1) — the dispatch hot
+// path does no scanning regardless of how many threads are queued.
+// Threads are linked intrusively through Thread.rqNext/rqPrev, so
+// removal (thread_stop, signal redirect) needs no search either.
+// Guarded by Runtime.mu.
+type runQueue struct {
+	qs     [NumPrioLevels]dispQ
+	bitmap [NumPrioLevels / 64]uint64
+	n      int
+}
 
-func (r *runQueue) push(t *Thread) { r.q = append(r.q, t) }
+// dispQ is one per-priority FIFO ring: head is popped, tail appended.
+type dispQ struct {
+	head, tail *Thread
+}
+
+func (r *runQueue) len() int { return r.n }
+
+// push appends t to the tail of its priority level (FIFO among
+// equals) and marks the level active.
+func (r *runQueue) push(t *Thread) {
+	lvl := prioLevel(t.prio)
+	t.rqLevel = lvl
+	t.rqOn = true
+	t.rqNext = nil
+	q := &r.qs[lvl]
+	if q.tail == nil {
+		t.rqPrev = nil
+		q.head, q.tail = t, t
+		r.bitmap[lvl>>6] |= 1 << (lvl & 63)
+	} else {
+		t.rqPrev = q.tail
+		q.tail.rqNext = t
+		q.tail = t
+	}
+	r.n++
+}
+
+// topLevel returns the highest active level, or -1 when empty: one
+// bits.Len64 per bitmap word, never a queue scan.
+func (r *runQueue) topLevel() int {
+	for w := len(r.bitmap) - 1; w >= 0; w-- {
+		if word := r.bitmap[w]; word != 0 {
+			return w<<6 + bits.Len64(word) - 1
+		}
+	}
+	return -1
+}
 
 // pop removes and returns the highest-priority thread (FIFO among
 // equals), or nil. A chaos source (nil when disabled) may pick a
 // different queued thread, exploring dispatch orders the priority rule
 // would not produce; the passed-over thread stays queued.
 func (r *runQueue) pop(src *chaos.Source) *Thread {
-	best := -1
-	for i, t := range r.q {
-		if best < 0 || t.prio > r.q[best].prio {
-			best = i
-		}
-	}
-	if best < 0 {
+	if r.n == 0 {
 		return nil
 	}
-	if alt := src.RunqReorder(len(r.q)); alt >= 0 {
-		best = alt
+	if alt := src.RunqReorder(r.n); alt >= 0 {
+		if t := r.nth(alt); t != nil {
+			r.unlink(t)
+			return t
+		}
 	}
-	t := r.q[best]
-	r.q = append(r.q[:best], r.q[best+1:]...)
+	lvl := r.topLevel()
+	t := r.qs[lvl].head
+	r.unlink(t)
 	return t
 }
 
-func (r *runQueue) remove(t *Thread) bool {
-	for i, x := range r.q {
-		if x == t {
-			r.q = append(r.q[:i], r.q[i+1:]...)
-			return true
+// nth returns the alt-th queued thread in priority-then-FIFO order
+// (chaos exploration only: this is the one O(n) path, taken solely
+// when a chaos source fires).
+func (r *runQueue) nth(alt int) *Thread {
+	for lvl := NumPrioLevels - 1; lvl >= 0; lvl-- {
+		for t := r.qs[lvl].head; t != nil; t = t.rqNext {
+			if alt == 0 {
+				return t
+			}
+			alt--
 		}
 	}
-	return false
+	return nil
 }
 
-func (r *runQueue) clear() { r.q = nil }
+// unlink detaches a queued thread from its ring in O(1).
+func (r *runQueue) unlink(t *Thread) {
+	q := &r.qs[t.rqLevel]
+	if t.rqPrev != nil {
+		t.rqPrev.rqNext = t.rqNext
+	} else {
+		q.head = t.rqNext
+	}
+	if t.rqNext != nil {
+		t.rqNext.rqPrev = t.rqPrev
+	} else {
+		q.tail = t.rqPrev
+	}
+	if q.head == nil {
+		r.bitmap[t.rqLevel>>6] &^= 1 << (t.rqLevel & 63)
+	}
+	t.rqNext, t.rqPrev = nil, nil
+	t.rqOn = false
+	r.n--
+}
 
-// maxPrio returns the highest queued priority, or -1 when empty.
+// remove takes t off the queue if it is queued, in O(1) via its
+// intrusive links (thread_stop, timed-wait cancel, signal redirect).
+func (r *runQueue) remove(t *Thread) bool {
+	if !t.rqOn {
+		return false
+	}
+	r.unlink(t)
+	return true
+}
+
+func (r *runQueue) clear() {
+	for lvl := 0; lvl < NumPrioLevels; lvl++ {
+		for t := r.qs[lvl].head; t != nil; {
+			next := t.rqNext
+			t.rqNext, t.rqPrev = nil, nil
+			t.rqOn = false
+			t = next
+		}
+		r.qs[lvl] = dispQ{}
+	}
+	for i := range r.bitmap {
+		r.bitmap[i] = 0
+	}
+	r.n = 0
+}
+
+// maxPrio returns the highest queued priority, or -1 when empty. For
+// levels below the clamp this is exact from the bitmap; the top
+// (shared) level is scanned for the true maximum.
 func (r *runQueue) maxPrio() int {
+	lvl := r.topLevel()
+	if lvl < 0 {
+		return -1
+	}
+	if lvl < NumPrioLevels-1 {
+		return lvl
+	}
 	best := -1
-	for _, t := range r.q {
+	for t := r.qs[lvl].head; t != nil; t = t.rqNext {
 		if t.prio > best {
 			best = t.prio
 		}
 	}
 	return best
+}
+
+// PrioCount is one row of a run-queue occupancy report: Count queued
+// threads at priority Prio.
+type PrioCount struct {
+	Prio  int
+	Count int
+}
+
+// RunqStats reports the run-queue depth and the per-priority
+// occupancy (ascending priority), for mtstat and /proc. Counts are by
+// actual thread priority, not queue level, so clamped priorities
+// above the level cap report distinctly.
+func (m *Runtime) RunqStats() (int, []PrioCount) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	depth := m.runq.n
+	counts := make(map[int]int)
+	for lvl := 0; lvl < NumPrioLevels; lvl++ {
+		for t := m.runq.qs[lvl].head; t != nil; t = t.rqNext {
+			counts[t.prio]++
+		}
+	}
+	prios := make([]int, 0, len(counts))
+	for p := range counts {
+		prios = append(prios, p)
+	}
+	sort.Ints(prios)
+	occ := make([]PrioCount, 0, len(prios))
+	for _, p := range prios {
+		occ = append(occ, PrioCount{Prio: p, Count: counts[p]})
+	}
+	return depth, occ
 }
 
 // Find returns the live thread with the given ID.
@@ -104,6 +253,7 @@ func (caller *Thread) Wait(id ThreadID) (ThreadID, error) {
 	}
 	for {
 		m.mu.Lock()
+		var reg WaitChan
 		if id != 0 {
 			if z, ok := m.zombies[id]; ok {
 				m.reapLocked(z)
@@ -119,32 +269,29 @@ func (caller *Thread) Wait(id ThreadID) (ThreadID, error) {
 				m.mu.Unlock()
 				return 0, ErrNotWaited
 			}
-			if len(m.waiters[id]) > 0 {
+			if target.waitWC.Len() > 0 {
 				m.mu.Unlock()
 				return 0, ErrDoubleWait
 			}
-			m.waiters[id] = append(m.waiters[id], caller)
+			reg = target.waitWC
 		} else {
 			for zid, z := range m.zombies {
 				m.reapLocked(z)
 				m.mu.Unlock()
 				return zid, nil
 			}
-			m.anyWait = append(m.anyWait, caller)
+			reg = m.anyWC
 		}
+		reg.Enqueue(caller)
 		m.mu.Unlock()
 		caller.parkSelf(ThreadWaiting)
 		caller.Checkpoint()
 		// Loop: re-scan for our zombie. A wake permit or spurious
-		// wake simply re-checks.
+		// wake simply re-checks. Deregister only the caller — a
+		// blanket flush here would drop waiters that registered on
+		// the same channel while we were waking.
 		m.mu.Lock()
-		// Deregister in case we were woken without our target
-		// having exited (any-wait broadcast).
-		if id != 0 {
-			delete(m.waiters, id)
-		} else {
-			m.anyWait = removeThread(m.anyWait, caller)
-		}
+		reg.Remove(caller)
 		m.mu.Unlock()
 	}
 }
@@ -155,18 +302,9 @@ func (caller *Thread) Wait(id ThreadID) (ThreadID, error) {
 // paper specifies).
 func (m *Runtime) reapLocked(z *Thread) {
 	delete(m.zombies, z.id)
-	if z.stackOwn && len(m.stackCache) < 32 {
+	if z.stackOwn && len(m.stackCache) < m.cfg.StackCacheSize {
 		m.stackCache = append(m.stackCache, z.stack)
 	}
-}
-
-func removeThread(s []*Thread, t *Thread) []*Thread {
-	for i, x := range s {
-		if x == t {
-			return append(s[:i], s[i+1:]...)
-		}
-	}
-	return s
 }
 
 // Stop implements thread_stop(target): it prevents the target from
@@ -253,11 +391,7 @@ func (t *Thread) noteStopped() {
 	waiters := t.stopWaiters
 	t.stopWaiters = nil
 	m.mu.Unlock()
-	for _, w := range waiters {
-		if w != nil {
-			m.unparkInto(w)
-		}
-	}
+	m.unparkBatch(waiters)
 }
 
 // SetPriority implements thread_priority: it sets the target's
@@ -270,9 +404,14 @@ func (m *Runtime) SetPriority(target *Thread, prio int) (int, error) {
 	m.mu.Lock()
 	old := target.prio
 	target.prio = prio
-	// A runnable thread's queue position is recomputed at pop time,
-	// so no re-queue is needed; but a raised priority may warrant
-	// preempting a running thread.
+	if target.rqOn {
+		// A queued runnable thread moves to its new level now, so
+		// the change takes effect at the next pop; it re-queues at
+		// the new level's tail (FIFO among its new equals).
+		m.runq.unlink(target)
+		m.runq.push(target)
+	}
+	// A raised priority may warrant preempting a running thread.
 	if target.state == ThreadRunnable {
 		m.flagPreemptionLocked(prio)
 	}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded sleep queues — the library's stand-in for Solaris's
+// sleepq_head hash of turnstiles. Every blocking object (a tsync
+// primitive's waiter list, a thread's thread_wait channel) allocates a
+// WaitChan: one FIFO of parked waiters whose lock comes from a fixed
+// hashed array of shard locks, exactly as Solaris hashes a sleep
+// channel into sleepq_head[]. Threads blocking on objects that hash to
+// different shards therefore touch disjoint locks instead of
+// contending on one global structure, and a waiter is removed from the
+// middle of a queue (timed-wait cancel, a waiter deregistering only
+// itself) in O(1) through the intrusive sqNext/sqPrev links on Thread.
+//
+// Real Solaris hashes the address of the awaited object; Go forbids
+// taking stable object addresses without unsafe, so each channel is
+// assigned a shard by an atomic counter at allocation time instead —
+// uniform by construction. The queue itself lives in the channel (the
+// turnstile), not in the shard, so the hot park/unpark path is a
+// shard-lock acquisition plus pointer links: no map, no allocation.
+//
+// Lock ordering: a sleep-queue shard lock is a leaf. Callers may hold
+// Runtime.mu or a primitive's word lock around these operations; the
+// shard code takes no other locks.
+
+// WaitChan identifies one sleep queue. The zero value is not a valid
+// channel — allocate with AllocWaitChan. Comparable; the zero value
+// lets a primitive allocate its channel lazily.
+type WaitChan struct {
+	b *sleepqBucket
+}
+
+// sleepqShards is the number of independently locked shards; a power
+// of two so the shard index is a mask.
+const sleepqShards = 64
+
+var (
+	sleepqSeq  atomic.Uint64
+	sleepqLock [sleepqShards]sync.Mutex
+)
+
+// sleepqBucket is one channel's FIFO of waiters, linked intrusively
+// through Thread.sqNext/sqPrev; guarded by its shard's lock.
+type sleepqBucket struct {
+	shard      uint64
+	head, tail *Thread
+	n          int
+}
+
+// AllocWaitChan allocates a fresh sleep channel, assigning it a shard.
+func AllocWaitChan() WaitChan {
+	return WaitChan{&sleepqBucket{shard: sleepqSeq.Add(1) & (sleepqShards - 1)}}
+}
+
+// Valid reports whether the channel has been allocated.
+func (wc WaitChan) Valid() bool { return wc.b != nil }
+
+func (wc WaitChan) lock() *sync.Mutex { return &sleepqLock[wc.b.shard] }
+
+// Enqueue appends t to the channel's FIFO. The thread must not be
+// queued on any channel (a thread waits on at most one object).
+func (wc WaitChan) Enqueue(t *Thread) {
+	mu := wc.lock()
+	mu.Lock()
+	b := wc.b
+	t.sqBkt.Store(b)
+	t.sqNext = nil
+	if b.tail == nil {
+		t.sqPrev = nil
+		b.head, b.tail = t, t
+	} else {
+		t.sqPrev = b.tail
+		b.tail.sqNext = t
+		b.tail = t
+	}
+	b.n++
+	mu.Unlock()
+}
+
+// unlinkLocked detaches t from b; the shard lock is held.
+func (b *sleepqBucket) unlinkLocked(t *Thread) {
+	if t.sqPrev != nil {
+		t.sqPrev.sqNext = t.sqNext
+	} else {
+		b.head = t.sqNext
+	}
+	if t.sqNext != nil {
+		t.sqNext.sqPrev = t.sqPrev
+	} else {
+		b.tail = t.sqPrev
+	}
+	t.sqNext, t.sqPrev = nil, nil
+	t.sqBkt.Store(nil)
+	b.n--
+}
+
+// DequeueOne removes and returns the oldest waiter, or nil.
+func (wc WaitChan) DequeueOne() *Thread {
+	mu := wc.lock()
+	mu.Lock()
+	t := wc.b.head
+	if t != nil {
+		wc.b.unlinkLocked(t)
+	}
+	mu.Unlock()
+	return t
+}
+
+// DequeueAll removes every waiter, returned in FIFO order.
+func (wc WaitChan) DequeueAll() []*Thread {
+	mu := wc.lock()
+	mu.Lock()
+	b := wc.b
+	if b.n == 0 {
+		mu.Unlock()
+		return nil
+	}
+	out := make([]*Thread, 0, b.n)
+	for t := b.head; t != nil; {
+		next := t.sqNext
+		t.sqNext, t.sqPrev = nil, nil
+		t.sqBkt.Store(nil)
+		out = append(out, t)
+		t = next
+	}
+	b.head, b.tail, b.n = nil, nil, 0
+	mu.Unlock()
+	return out
+}
+
+// Remove takes t off the channel if it is queued there — the O(1)
+// middle-of-queue removal used by timed-wait cancellation and by a
+// waiter deregistering only itself after a spurious wake.
+func (wc WaitChan) Remove(t *Thread) bool {
+	mu := wc.lock()
+	mu.Lock()
+	if t.sqBkt.Load() != wc.b {
+		mu.Unlock()
+		return false
+	}
+	wc.b.unlinkLocked(t)
+	mu.Unlock()
+	return true
+}
+
+// Len reports the number of queued waiters.
+func (wc WaitChan) Len() int {
+	mu := wc.lock()
+	mu.Lock()
+	n := wc.b.n
+	mu.Unlock()
+	return n
+}
+
+// sleepqDetach removes t from whatever channel it is queued on, if
+// any. Used when a thread is torn down (process death) while parked:
+// without it the dead Thread would stay linked in a live queue.
+func sleepqDetach(t *Thread) {
+	for {
+		b := t.sqBkt.Load()
+		if b == nil {
+			return
+		}
+		if (WaitChan{b}).Remove(t) {
+			return
+		}
+		// Raced with a dequeue that may have been followed by a
+		// re-enqueue elsewhere; re-read and retry.
+	}
+}

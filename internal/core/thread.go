@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 
 	"sunosmt/internal/sim"
 )
@@ -113,6 +114,33 @@ type Thread struct {
 
 	gate chan struct{} // run grant; buffered(1)
 
+	// Intrusive run-queue node (Solaris: t_link on the disp_q). All
+	// four fields are guarded by m.mu, like the run queue itself.
+	rqNext, rqPrev *Thread
+	rqLevel        int
+	rqOn           bool
+
+	// Intrusive sleep-queue node. sqNext/sqPrev are guarded by the
+	// shard lock of the channel the thread is queued on; sqBkt
+	// itself is atomic so teardown can read it without that lock.
+	sqNext, sqPrev *Thread
+	sqBkt          atomic.Pointer[sleepqBucket]
+
+	// waitWC is the thread_wait sleep channel of this thread:
+	// threads waiting for this one to exit park here. Immutable
+	// after create.
+	waitWC WaitChan
+
+	// onCPU mirrors whether the thread currently holds a processor
+	// grant. Advisory (read lock-free by the adaptive mutex spin
+	// policy: spin while the owner is observed running).
+	onCPU atomic.Bool
+
+	// blocked is the wait-for edge published just before parking on
+	// a synchronization object; atomic so the hot park/unpark path
+	// publishes it without touching Runtime.mu.
+	blocked atomic.Pointer[BlockInfo]
+
 	// All fields below are guarded by m.mu unless noted.
 	state       ThreadState
 	prio        int
@@ -126,7 +154,6 @@ type Thread struct {
 	stopWaiters []*Thread
 	sigmask     sim.Sigset // also mirrored into the LWP while running
 	pending     sim.Sigset // thread-directed pending signals
-	blocked     *BlockInfo // what the thread is parked on (wait-for edge)
 	errno       int
 	forkCont    Func
 	forkArg     any
@@ -197,6 +224,7 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		arg:    arg,
 		gate:   make(chan struct{}, 1),
 		prio:   1,
+		waitWC: AllocWaitChan(),
 		exitCh: make(chan struct{}),
 	}
 	if opts.Priority > 0 {
@@ -420,6 +448,7 @@ func (t *Thread) boundMain() {
 		t.state = ThreadRunning
 	}
 	m.mu.Unlock()
+	t.onCPU.Store(true)
 	if stopped {
 		t.parkSelf(ThreadStopped)
 	}
@@ -475,6 +504,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 	if t.bound() {
 		t.state = state
 		m.mu.Unlock()
+		t.onCPU.Store(false)
 		if state == ThreadStopped {
 			t.noteStopped()
 		}
@@ -482,6 +512,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 		m.mu.Lock()
 		t.state = ThreadRunning
 		m.mu.Unlock()
+		t.onCPU.Store(true)
 		t.stopIfRequested(state)
 		return
 	}
@@ -496,6 +527,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 		pl.cur = nil
 	}
 	m.mu.Unlock()
+	t.onCPU.Store(false)
 	if state == ThreadStopped {
 		t.noteStopped()
 	}
@@ -564,6 +596,82 @@ func (m *Runtime) unparkInto(t *Thread) {
 // uses this as the wake half of its sleep queues.
 func (t *Thread) Unpark() { t.m.unparkInto(t) }
 
+// OnCPU reports whether the thread currently holds a processor grant.
+// Advisory and lock-free: the adaptive mutex spin policy uses it to
+// spin only while the lock owner is observed running.
+func (t *Thread) OnCPU() bool { return t.onCPU.Load() }
+
+// UnparkAll wakes a batch of parked threads — the multi-thread wakeup
+// of Cond.Broadcast, rwlock release, and thread exit. Threads of one
+// runtime are re-enqueued in a single pass over the scheduler lock
+// instead of one lock round-trip per waiter.
+func UnparkAll(ts []*Thread) {
+	for i := 0; i < len(ts); {
+		m := ts[i].m
+		j := i + 1
+		for j < len(ts) && ts[j].m == m {
+			j++
+		}
+		m.unparkBatch(ts[i:j])
+		i = j
+	}
+}
+
+// unparkBatch is unparkInto over a batch of this runtime's threads:
+// one Runtime.mu critical section inserts every waking thread into
+// the run queue, then idle LWPs are kicked (and at most one
+// preemption flagged) outside the lock.
+func (m *Runtime) unparkBatch(ts []*Thread) {
+	if len(ts) == 0 {
+		return
+	}
+	if len(ts) == 1 {
+		m.unparkInto(ts[0])
+		return
+	}
+	var kicks []*sim.LWP
+	m.mu.Lock()
+	maxPrio := -1
+	woken := 0
+	for _, t := range ts {
+		if t.bound() {
+			if t.state != ThreadZombie {
+				t.state = ThreadRunnable
+			}
+			kicks = append(kicks, t.bndLWP)
+			continue
+		}
+		switch t.state {
+		case ThreadSleeping, ThreadWaiting:
+			if m.dying {
+				continue // the sweep owns these threads now
+			}
+			t.state = ThreadRunnable
+			m.runq.push(t)
+			woken++
+			if t.prio > maxPrio {
+				maxPrio = t.prio
+			}
+		case ThreadZombie:
+		default:
+			t.wakePermit = true
+		}
+	}
+	for woken > 0 && len(m.idle) > 0 {
+		pl := m.idle[len(m.idle)-1]
+		m.idle = m.idle[:len(m.idle)-1]
+		kicks = append(kicks, pl.l)
+		woken--
+	}
+	if woken > 0 && maxPrio >= 0 {
+		m.flagPreemptionLocked(maxPrio)
+	}
+	m.mu.Unlock()
+	for _, l := range kicks {
+		m.kern.Unpark(l)
+	}
+}
+
 // Park blocks the calling thread as sleeping on a synchronization
 // object until Unpark. For an unbound thread this switches to another
 // thread with no kernel involvement.
@@ -590,6 +698,7 @@ func (t *Thread) Yield() {
 			pl.cur = nil // see parkSelf: avoid a stale dispatcher claim
 		}
 		m.mu.Unlock()
+		t.onCPU.Store(false)
 		yieldLWP(pl)
 		<-t.gate
 		t.checkKilledPanic()
@@ -630,6 +739,7 @@ func (t *Thread) Checkpoint() {
 			pl := t.lwp
 			t.lwp = nil
 			m.mu.Unlock()
+			t.onCPU.Store(false)
 			yieldLWP(pl)
 			<-t.gate
 			t.checkKilledPanic()
@@ -675,22 +785,19 @@ func (t *Thread) retire() {
 	var wake []*Thread
 	if t.flags&ThreadWait != 0 {
 		m.zombies[t.id] = t
-		wake = append(wake, m.waiters[t.id]...)
-		delete(m.waiters, t.id)
-		wake = append(wake, m.anyWait...)
-		m.anyWait = nil
-	} else if t.stackOwn && len(m.stackCache) < 32 {
+		wake = t.waitWC.DequeueAll()
+		wake = append(wake, m.anyWC.DequeueAll()...)
+	} else if t.stackOwn && len(m.stackCache) < m.cfg.StackCacheSize {
 		// Default stacks are cached by the threads package
 		// (paper, Figure 5 setup).
 		m.stackCache = append(m.stackCache, t.stack)
 	}
 	last := m.nlive-m.ndaemon == 0 && !m.dying
 	m.mu.Unlock()
+	t.onCPU.Store(false)
 	close(t.exitCh)
 	m.tr.Add("thread", "thread %d exits", t.id)
-	for _, w := range wake {
-		m.unparkInto(w)
-	}
+	m.unparkBatch(wake)
 	if last && !m.proc.Dying() {
 		// The last non-daemon thread exited: the process exits,
 		// destroying all LWPs. The kernel unwind is caught by
@@ -785,11 +892,19 @@ func (m *Runtime) threadGone(t *Thread) {
 	}
 	t.state = ThreadZombie
 	t.lwp = nil
+	if t.rqOn {
+		m.runq.remove(t)
+	}
 	delete(m.threads, t.id)
 	m.nlive--
 	if t.flags&ThreadDaemon != 0 {
 		m.ndaemon--
 	}
 	m.mu.Unlock()
+	t.onCPU.Store(false)
+	// A torn-down thread may still be linked on a sleep queue (it was
+	// parked on a primitive when the process died); unlink it so the
+	// global sharded table does not retain it.
+	sleepqDetach(t)
 	close(t.exitCh)
 }

@@ -143,6 +143,15 @@ func (pfs *ProcFS) threadStatus(rt *core.Runtime) []byte {
 		fmt.Fprintf(&sb, "%-6d %-10v %-6d %-6v %s\n", t.ID(), t.State(), t.Priority(), t.Bound(), blocked)
 	}
 	fmt.Fprintf(&sb, "pool-lwps: %d  runnable: %d\n", rt.PoolSize(), rt.RunnableThreads())
+	depth, occ := rt.RunqStats()
+	fmt.Fprintf(&sb, "runq-depth: %d  occupancy:", depth)
+	if len(occ) == 0 {
+		sb.WriteString(" -")
+	}
+	for _, pc := range occ {
+		fmt.Fprintf(&sb, " prio%d:%d", pc.Prio, pc.Count)
+	}
+	sb.WriteByte('\n')
 	return []byte(sb.String())
 }
 

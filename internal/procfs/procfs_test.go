@@ -95,6 +95,9 @@ func TestProcStatusAndThreads(t *testing.T) {
 		if !strings.Contains(threads, "pool-lwps:") {
 			t.Errorf("threads footer missing:\n%s", threads)
 		}
+		if !strings.Contains(threads, "runq-depth:") || !strings.Contains(threads, "occupancy:") {
+			t.Errorf("threads footer missing run-queue stats:\n%s", threads)
+		}
 	}()
 	select {
 	case <-done:

@@ -98,8 +98,11 @@ type LWP struct {
 	cpuUsage   time.Duration // decayed usage, drives TS priority
 	lastDecay  time.Duration
 
-	// Sleep state; guarded by Kernel.mu.
+	// Sleep state; guarded by Kernel.mu. wqNext/wqPrev are the
+	// intrusive links of the WaitQ the LWP sleeps on.
 	wq            *WaitQ
+	wqNext        *LWP
+	wqPrev        *LWP
 	wakeRes       WakeResult
 	woken         bool
 	sleepTimer    interface{ Stop() bool }

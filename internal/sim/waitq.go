@@ -5,12 +5,16 @@ import "time"
 // WaitQ is a kernel sleep queue. LWPs block on wait queues inside
 // system calls (pipe I/O, poll, waitpid, process-shared
 // synchronization variables, bound-thread sleeps). Wakeups are FIFO.
+// The queue is an intrusive doubly-linked list through the LWPs'
+// wqNext/wqPrev fields, so timeout and signal-interrupt removal of a
+// mid-queue sleeper is O(1).
 //
 // The zero value is ready to use. A WaitQ must not be copied after
 // first use.
 type WaitQ struct {
-	name    string
-	waiters []*LWP // guarded by Kernel.mu
+	name       string
+	head, tail *LWP // guarded by Kernel.mu
+	n          int
 }
 
 // NewWaitQ returns a named wait queue (the name appears in traces and
@@ -20,21 +24,51 @@ func NewWaitQ(name string) *WaitQ { return &WaitQ{name: name} }
 // Name returns the queue's name.
 func (w *WaitQ) Name() string { return w.name }
 
-func (w *WaitQ) add(l *LWP) { w.waiters = append(w.waiters, l) }
-func (w *WaitQ) remove(l *LWP) {
-	for i, x := range w.waiters {
-		if x == l {
-			w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
-			return
-		}
+func (w *WaitQ) add(l *LWP) {
+	l.wqPrev = w.tail
+	l.wqNext = nil
+	if w.tail != nil {
+		w.tail.wqNext = l
+	} else {
+		w.head = l
 	}
+	w.tail = l
+	w.n++
+}
+
+func (w *WaitQ) remove(l *LWP) {
+	if l.wq != w {
+		return
+	}
+	if l.wqPrev != nil {
+		l.wqPrev.wqNext = l.wqNext
+	} else {
+		w.head = l.wqNext
+	}
+	if l.wqNext != nil {
+		l.wqNext.wqPrev = l.wqPrev
+	} else {
+		w.tail = l.wqPrev
+	}
+	l.wqNext, l.wqPrev = nil, nil
+	w.n--
+}
+
+// nth returns the i'th queued LWP (head = 0). Only the chaos
+// wake-reorder path walks the list.
+func (w *WaitQ) nth(i int) *LWP {
+	l := w.head
+	for ; i > 0 && l != nil; i-- {
+		l = l.wqNext
+	}
+	return l
 }
 
 // Len reports how many LWPs are blocked on the queue.
 func (w *WaitQ) Len(k *Kernel) int {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return len(w.waiters)
+	return w.n
 }
 
 // SleepOpts controls a kernel sleep.
@@ -161,18 +195,19 @@ func (k *Kernel) Wakeup(wq *WaitQ, n int) int {
 
 func (k *Kernel) wakeupLocked(wq *WaitQ, n int) int {
 	if n < 0 {
-		n = len(wq.waiters)
+		n = wq.n
 	}
 	count := 0
-	for count < n && len(wq.waiters) > 0 {
+	for count < n && wq.n > 0 {
 		// Chaos: wake a non-head waiter, breaking FIFO order. Any
 		// queued LWP is a legitimate wake target; callers built on
 		// sleep queues re-check their condition after waking.
-		i := 0
-		if alt := k.chaos.WakeReorder(len(wq.waiters)); alt > 0 {
-			i = alt
+		l := wq.head
+		if alt := k.chaos.WakeReorder(wq.n); alt > 0 {
+			if cand := wq.nth(alt); cand != nil {
+				l = cand
+			}
 		}
-		l := wq.waiters[i]
 		k.wakeLWPLocked(l, WakeNormal)
 		count++
 	}

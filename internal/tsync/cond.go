@@ -142,9 +142,9 @@ func (cv *Cond) Broadcast(t *core.Thread) {
 	cv.mu.Lock()
 	all := cv.waiters.popAll()
 	cv.mu.Unlock()
-	for _, w := range all {
-		w.Unpark()
-	}
+	// Batch: all waiters enter the run queue in one pass over the
+	// scheduler lock instead of one unpark round-trip each.
+	core.UnparkAll(all)
 }
 
 // Waiters reports how many threads are blocked (debugging aid).

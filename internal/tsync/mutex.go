@@ -157,12 +157,9 @@ func (mp *Mutex) MakeConsistent(t *core.Thread) bool {
 
 // enterLocal is the unshared acquisition path. d > 0 bounds the wait.
 func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
+	spin := mp.variant == VariantSpin
+	adaptive := mp.variant == VariantAdaptive || mp.variant == VariantDefault
 	spins := 0
-	if mp.variant == VariantSpin {
-		spins = -1 // never park
-	} else if mp.variant == VariantAdaptive || mp.variant == VariantDefault {
-		spins = adaptiveSpins
-	}
 	clk := t.Runtime().Kernel().Clock()
 	var deadline time.Duration
 	if d > 0 {
@@ -190,11 +187,19 @@ func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
 		if d > 0 && clk.Now() >= deadline {
 			return ErrTimedOut
 		}
-		if spins != 0 {
-			if spins > 0 {
-				spins--
-			}
-			t.Yield() // let the holder run
+		if spin {
+			t.Yield() // let the holder run; never park
+			continue
+		}
+		if adaptive && owner != nil && owner.OnCPU() && spins < adaptiveSpinCap {
+			// Adaptive phase, as in the real Solaris adaptive mutex:
+			// spin only while the owner is observed executing on a
+			// processor — its release is then likely imminent and
+			// cheaper to catch than two context switches. The moment
+			// the owner is seen off-CPU (preempted, blocked), fall
+			// through and park.
+			spins++
+			t.Yield()
 			continue
 		}
 		// Queue and park. The enqueue happens under the word
@@ -235,6 +240,7 @@ func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
 			t.Park()
 		}
 		t.NoteUnblocked()
+		spins = 0 // a fresh contention round gets a fresh spin budget
 		// Loop: mutex may have been stolen by a barger; Mesa
 		// semantics, as with real adaptive locks.
 	}

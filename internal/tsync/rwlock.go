@@ -296,9 +296,7 @@ func (rw *RWLock) Exit(t *core.Thread) {
 	if wakeOne != nil {
 		wakeOne.Unpark()
 	}
-	for _, w := range wakeAll {
-		w.Unpark()
-	}
+	core.UnparkAll(wakeAll) // readers wake in one scheduler-lock pass
 }
 
 // Downgrade atomically converts a writer lock into a readers lock
@@ -322,9 +320,7 @@ func (rw *RWLock) Downgrade(t *core.Thread) {
 		wakeAll = rw.rq.popAll()
 	}
 	rw.mu.Unlock()
-	for _, w := range wakeAll {
-		w.Unpark()
-	}
+	core.UnparkAll(wakeAll)
 }
 
 // TryUpgrade attempts to atomically convert a readers lock into a

@@ -28,7 +28,6 @@ package tsync
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"sunosmt/internal/chaos"
@@ -88,48 +87,65 @@ const (
 	VariantErrorCheck
 )
 
-// adaptiveSpins bounds the spin phase of adaptive/default mutexes.
-const adaptiveSpins = 32
+// adaptiveSpinCap bounds the owner-running spin phase of
+// adaptive/default mutexes: a waiter keeps probing only while the
+// owner is observed on a processor (core.Thread.OnCPU), so the spin
+// budget tracks observed owner-running time rather than a fixed
+// iteration count, and a waiter whose owner is preempted parks
+// immediately. The cap catches pathological long critical sections.
+const adaptiveSpinCap = 128
 
-// waitq is a FIFO of parked threads, protected by the primitive's
+// waitq is a FIFO of parked threads, fronted by the primitive's
 // internal word lock. The word lock (a plain Go mutex) models the
 // hardware atomic instruction sequence of a real implementation: it
-// is never held while parked.
+// is never held while parked. The waiters themselves hang off one
+// channel of the core package's sharded sleep-queue table (the
+// Solaris turnstile analogue), so enqueue, dequeue and — critically
+// for timed waits — middle-of-queue removal are all O(1), and
+// primitives hashing to different shards never touch a common lock.
+// The channel is allocated lazily under the word lock, keeping the
+// paper's "a zero variable is usable immediately" rule.
 type waitq struct {
-	q []*core.Thread
+	wc core.WaitChan
 }
 
-func (w *waitq) push(t *core.Thread) { w.q = append(w.q, t) }
+func (w *waitq) chanOf() core.WaitChan {
+	if !w.wc.Valid() {
+		w.wc = core.AllocWaitChan()
+	}
+	return w.wc
+}
+
+func (w *waitq) push(t *core.Thread) { w.chanOf().Enqueue(t) }
 
 func (w *waitq) pop() *core.Thread {
-	if len(w.q) == 0 {
+	if !w.wc.Valid() {
 		return nil
 	}
-	t := w.q[0]
-	w.q = w.q[1:]
-	return t
+	return w.wc.DequeueOne()
 }
 
 func (w *waitq) remove(t *core.Thread) bool {
-	for i, x := range w.q {
-		if x == t {
-			w.q = append(w.q[:i], w.q[i+1:]...)
-			return true
-		}
+	if !w.wc.Valid() {
+		return false
 	}
-	return false
+	return w.wc.Remove(t)
 }
 
-func (w *waitq) len() int { return len(w.q) }
+func (w *waitq) len() int {
+	if !w.wc.Valid() {
+		return 0
+	}
+	return w.wc.Len()
+}
 
 // popAll empties the queue, returning the waiters in FIFO order.
 func (w *waitq) popAll() []*core.Thread {
-	q := w.q
-	w.q = nil
-	return q
+	if !w.wc.Valid() {
+		return nil
+	}
+	return w.wc.DequeueAll()
 }
-
-var _ = sync.Mutex{} // the word lock type used by the primitives
 
 // chaosOf returns the chaos source perturbing t's system (nil — and
 // so inert — when chaos is disabled). Spurious wakeups are injected
