@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5|6|0] [-json file] [-baseline file] [-threshold x]
+//	mtbench [-n iterations] [-fig 5|6|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x]
 //
 // -json additionally writes the measured rows as a JSON document (see
 // BENCH_baseline.json for the committed reference run), so successive
@@ -18,6 +18,12 @@
 // 1.5x). CI runs this against the committed baseline as a regression
 // gate.
 //
+// -traceoverhead measures the cost of the per-CPU event rings on the
+// dispatch hot path: it interleaves DispatchLatency runs with tracing
+// off and on (best of three each) and exits non-zero if the traced
+// per-op time exceeds the untraced one by more than the given ratio.
+// CI runs `-fig -1 -traceoverhead 1.10` as the ≤10% overhead gate.
+//
 // The absolute numbers measure the simulation substrate on the host;
 // the reproduced result is the shape — which rows involve the kernel
 // and by roughly what factor they are slower. See EXPERIMENTS.md.
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sunosmt/internal/benchkit"
 )
@@ -117,12 +124,13 @@ func main() {
 	jsonPath := flag.String("json", "", "also write rows as JSON to this file (- for stdout)")
 	basePath := flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
 	threshold := flag.Float64("threshold", 1.5, "per-op regression ratio tolerated by -baseline")
+	traceOverhead := flag.Float64("traceoverhead", 0, "if > 0, gate traced-vs-untraced dispatch latency at this ratio")
 	flag.Parse()
 
 	switch *fig {
-	case 0, 5, 6:
+	case -1, 0, 5, 6:
 	default:
-		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6 or 0")
+		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6, 0 (both) or -1 (none)")
 		os.Exit(2)
 	}
 	doc := jsonDoc{Iterations: *n}
@@ -166,4 +174,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *traceOverhead > 0 {
+		if !gateTraceOverhead(*n, *traceOverhead) {
+			os.Exit(1)
+		}
+	}
+}
+
+// gateTraceOverhead compares the dispatch hot path with the event
+// rings off and on. Runs are interleaved (off, on, off, on, ...) so
+// host noise hits both sides alike, and each side keeps its best of
+// three — the run least disturbed by the host. Returns false if the
+// traced best exceeds the untraced best by more than maxRatio.
+func gateTraceOverhead(n int, maxRatio float64) bool {
+	const queued, rounds = 64, 3
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	// Warm up both paths once so first-run effects (allocator, code
+	// paths) don't land on one side only.
+	benchkit.DispatchLatency(queued, n/4+1)
+	benchkit.DispatchLatencyTraced(queued, n/4+1)
+	var off, on time.Duration
+	for i := 0; i < rounds; i++ {
+		off = best(off, benchkit.DispatchLatency(queued, n))
+		on = best(on, benchkit.DispatchLatencyTraced(queued, n))
+	}
+	ratio := float64(on) / float64(off)
+	perOp := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / float64(n) / 1e3 }
+	fmt.Printf("\nTrace overhead gate (DispatchLatency, %d queued, n=%d, best of %d):\n", queued, n, rounds)
+	fmt.Printf("  trace off %10.3f us/op\n", perOp(off))
+	fmt.Printf("  trace on  %10.3f us/op\n", perOp(on))
+	fmt.Printf("  ratio     %10.3fx (max %.2fx)\n", ratio, maxRatio)
+	if ratio > maxRatio {
+		fmt.Fprintf(os.Stderr, "mtbench: tracing overhead %.3fx exceeds %.2fx\n", ratio, maxRatio)
+		return false
+	}
+	return true
 }

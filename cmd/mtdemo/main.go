@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strings"
 	"time"
 
 	"sunosmt/internal/liblwp"
@@ -77,8 +76,8 @@ func figure1() {
 
 // figure2: trace the dispatch cycle of an LWP multiplexing threads.
 func figure2() {
-	fmt.Println("Figure 2: LWPs running threads (library trace of the dispatch cycle)")
-	sys := mt.NewSystem(mt.Options{NCPU: 1, TraceCapacity: 256})
+	fmt.Println("Figure 2: LWPs running threads (event rings over the dispatch cycle)")
+	sys := mt.NewSystem(mt.Options{NCPU: 1, EventRing: 256})
 	p, err := sys.Spawn("fig2", func(t *mt.Thread, _ any) {
 		r := t.Runtime()
 		var ids []mt.ThreadID
@@ -97,8 +96,13 @@ func figure2() {
 		log.Fatal(err)
 	}
 	p.WaitExit()
-	for _, e := range sys.Trace().Kinds("disp", "park") {
-		fmt.Printf("  %s\n", strings.TrimSpace(e.Msg))
+	for _, e := range sys.Events().Kinds(mt.EvThreadRun, mt.EvThreadPark) {
+		switch e.Kind {
+		case mt.EvThreadRun:
+			fmt.Printf("  lwp %d runs thread %d\n", e.LWP, e.TID)
+		case mt.EvThreadPark:
+			fmt.Printf("  lwp %d parks thread %d; dispatcher chooses another\n", e.LWP, e.TID)
+		}
 	}
 }
 

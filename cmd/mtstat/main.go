@@ -20,6 +20,7 @@ func main() {
 	ticks := flag.Int("ticks", 3, "number of /proc snapshots to print")
 	interval := flag.Duration("interval", 20*time.Millisecond, "snapshot interval")
 	locks := flag.Bool("locks", false, "also print /proc/<pid>/lstatus (lock wait-for edges and deadlocks)")
+	micro := flag.Bool("m", false, "also print /proc/<pid>/usage (microstate accounting columns)")
 	flag.Parse()
 
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
@@ -105,6 +106,9 @@ func main() {
 				log.Fatal(err)
 			}
 			files := []string{"status", "lwps", "threads"}
+			if *micro {
+				files = append(files, "usage")
+			}
 			if *locks {
 				files = append(files, "lstatus")
 			}

@@ -1,0 +1,189 @@
+// Command mttrace exercises the per-CPU binary event rings: it boots
+// a machine with event tracing on, runs a contended multi-thread
+// workload, then merges the rings and reports the event mix, the ring
+// drop/torn counters, and two latency histograms computed from the
+// merged stream — kernel wakeup-to-dispatch latency and on-CPU run
+// lengths. With -dump it also prints every retained record in global
+// order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/bits"
+	"sort"
+	"time"
+
+	"sunosmt/mt"
+)
+
+func main() {
+	ncpu := flag.Int("ncpu", 2, "number of simulated CPUs")
+	ring := flag.Int("ring", 4096, "per-CPU event ring capacity")
+	dump := flag.Bool("dump", false, "print every retained record in merge order")
+	threads := flag.Int("threads", 6, "worker threads in the demo workload")
+	iters := flag.Int("iters", 200, "iterations per worker")
+	flag.Parse()
+
+	sys := mt.NewSystem(mt.Options{
+		NCPU:      *ncpu,
+		EventRing: *ring,
+		TimeSlice: 200 * time.Microsecond,
+	})
+	runWorkload(sys, *threads, *iters)
+
+	ev := sys.Events()
+	recs, dropped := ev.Snapshot()
+	if *dump {
+		for _, r := range recs {
+			fmt.Println(r)
+		}
+	}
+
+	counts := map[mt.EventKind]int{}
+	for _, r := range recs {
+		counts[r.Kind]++
+	}
+	kinds := make([]mt.EventKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	fmt.Printf("retained %d events across %d rings (dropped %d, torn %d)\n",
+		len(recs), ev.NCPU()+1, dropped, ev.Torn())
+	for _, k := range kinds {
+		fmt.Printf("  %-10v %d\n", k, counts[k])
+	}
+
+	fmt.Println("\nwakeup-to-dispatch latency (kernel run-queue wait after a wakeup):")
+	printHist(wakeupLatencies(recs))
+	fmt.Println("\non-CPU run length (dispatch to the CPU's next dispatch):")
+	printHist(onCPURuns(recs))
+}
+
+// runWorkload spawns a process mixing lock contention (wakeups),
+// yielders (dispatches and preemptions), and sleepers, so every event
+// kind shows up in the rings.
+func runWorkload(sys *mt.System, nthreads, iters int) {
+	ch := make(chan *mt.Proc, 1)
+	p, err := sys.Spawn("mttrace", func(t *mt.Thread, _ any) {
+		p := <-ch
+		r := t.Runtime()
+		r.SetConcurrency(2)
+		var mu mt.Mutex
+		shared := 0
+		var ids []mt.ThreadID
+		for i := 0; i < nthreads; i++ {
+			c, err := r.Create(func(c *mt.Thread, _ any) {
+				for j := 0; j < iters; j++ {
+					mu.Enter(c)
+					shared++
+					mu.Exit(c)
+					c.Yield()
+				}
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids = append(ids, c.ID())
+		}
+		s, err := r.Create(func(c *mt.Thread, _ any) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(c, 100*time.Microsecond)
+			}
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, s.ID())
+		for _, id := range ids {
+			t.Wait(id)
+		}
+	}, nil, mt.ProcConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch <- p
+	p.WaitExit()
+}
+
+// wakeupLatencies pairs each EvWakeup with the next EvDispatch of the
+// same (pid, lwp) in the merged stream: the time the woken LWP then
+// spent on the kernel run queue.
+func wakeupLatencies(recs []mt.EventRecord) []time.Duration {
+	type key struct{ pid, lwp int32 }
+	pending := map[key]time.Duration{}
+	var out []time.Duration
+	for _, r := range recs {
+		k := key{r.PID, r.LWP}
+		switch r.Kind {
+		case mt.EvWakeup:
+			pending[k] = r.When
+		case mt.EvDispatch:
+			if w, ok := pending[k]; ok {
+				out = append(out, r.When-w)
+				delete(pending, k)
+			}
+		}
+	}
+	return out
+}
+
+// onCPURuns measures, per CPU, the spacing between consecutive
+// dispatches — how long each occupant held the processor.
+func onCPURuns(recs []mt.EventRecord) []time.Duration {
+	last := map[int32]time.Duration{}
+	var out []time.Duration
+	for _, r := range recs {
+		if r.Kind != mt.EvDispatch {
+			continue
+		}
+		if prev, ok := last[r.CPU]; ok {
+			out = append(out, r.When-prev)
+		}
+		last[r.CPU] = r.When
+	}
+	return out
+}
+
+// printHist renders a power-of-two-bucketed latency histogram.
+func printHist(ds []time.Duration) {
+	if len(ds) == 0 {
+		fmt.Println("  (no samples)")
+		return
+	}
+	buckets := map[int]int{}
+	var sum time.Duration
+	for _, d := range ds {
+		if d < 0 {
+			d = 0
+		}
+		buckets[bits.Len64(uint64(d))]++
+		sum += d
+	}
+	keys := make([]int, 0, len(buckets))
+	for b := range buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	max := 0
+	for _, b := range keys {
+		if buckets[b] > max {
+			max = buckets[b]
+		}
+	}
+	for _, b := range keys {
+		lo := time.Duration(0)
+		if b > 0 {
+			lo = time.Duration(1) << (b - 1)
+		}
+		n := buckets[b]
+		bar := ""
+		for i := 0; i < 40*n/max; i++ {
+			bar += "#"
+		}
+		fmt.Printf("  < %-10v %6d %s\n", 2*lo, n, bar)
+	}
+	fmt.Printf("  samples %d, mean %v\n", len(ds), sum/time.Duration(len(ds)))
+}

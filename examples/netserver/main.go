@@ -14,6 +14,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"sync"
 
 	"sunosmt/mt"
 )
@@ -23,6 +25,23 @@ const (
 	reqPerClient = 25
 	total        = nClients * reqPerClient
 )
+
+// Per-request failures are recorded here rather than silently
+// dropped (or fatally logged from a worker thread, which would take
+// the whole demo down mid-flight). Every process in the demo reports
+// into the same collector; main prints the summary and exits
+// non-zero if anything failed, so CI catches regressions in the I/O
+// paths.
+var (
+	errMu sync.Mutex
+	errs  []error
+)
+
+func fail(context string, err error) {
+	errMu.Lock()
+	errs = append(errs, fmt.Errorf("%s: %w", context, err))
+	errMu.Unlock()
+}
 
 func main() {
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
@@ -44,8 +63,14 @@ func main() {
 			}
 			cps[i] = pipePair{rfd, wfd}
 		}
-		dreqR, dreqW, _ := p.Pipe(t)
-		drepR, drepW, _ := p.Pipe(t)
+		dreqR, dreqW, err := p.Pipe(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		drepR, drepW, err := p.Pipe(t)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		// fork1: the directory service.
 		dirCh := make(chan *mt.Proc, 1)
@@ -54,10 +79,12 @@ func main() {
 			buf := make([]byte, 1)
 			for i := 0; i < total; i++ {
 				if _, err := dp.Read(dt, dreqR, buf); err != nil {
+					fail(fmt.Sprintf("dir: read request %d", i), err)
 					return
 				}
 				buf[0] ^= 0x80 // the "lookup"
 				if _, err := dp.Write(dt, drepW, buf); err != nil {
+					fail(fmt.Sprintf("dir: write reply %d", i), err)
 					return
 				}
 			}
@@ -77,6 +104,7 @@ func main() {
 				c, err := ct.Runtime().Create(func(c *mt.Thread, _ any) {
 					for j := 0; j < reqPerClient; j++ {
 						if _, err := cp.Write(c, cps[i].w, []byte{byte(i)}); err != nil {
+							fail(fmt.Sprintf("client %d: write request %d", i, j), err)
 							return
 						}
 						c.Yield()
@@ -88,7 +116,9 @@ func main() {
 				ids = append(ids, c.ID())
 			}
 			for _, id := range ids {
-				ct.Wait(id)
+				if _, err := ct.Wait(id); err != nil {
+					fail(fmt.Sprintf("client: wait %d", id), err)
+				}
 			}
 		}, nil)
 		if err != nil {
@@ -121,13 +151,17 @@ func main() {
 					// Blocking round trip to the directory
 					// service: this thread's LWP parks in the
 					// kernel; SIGWAITING grows the pool if
-					// everyone is waiting.
+					// everyone is waiting. A failed round trip is
+					// recorded and the request dropped; the server
+					// keeps serving the rest.
 					if _, err := p.Write(c, dreqW, buf); err != nil {
-						log.Fatal(err)
+						fail("worker: write to directory", err)
+						return
 					}
 					rep := make([]byte, 1)
 					if _, err := p.Read(c, drepR, rep); err != nil {
-						log.Fatal(err)
+						fail("worker: read directory reply", err)
+						return
 					}
 					mu.Enter(c)
 					served++
@@ -147,16 +181,26 @@ func main() {
 					pending = append(pending, id)
 					continue
 				}
-				t.Wait(id)
+				if _, err := t.Wait(id); err != nil {
+					fail(fmt.Sprintf("server: reap worker %d", id), err)
+				}
 			}
 			workers = pending
 		}
 		for _, id := range workers {
-			t.Wait(id)
+			if _, err := t.Wait(id); err != nil {
+				fail(fmt.Sprintf("server: wait worker %d", id), err)
+			}
 		}
 		// Wait for the children.
-		p.WaitChild(t, -1)
-		p.WaitChild(t, -1)
+		for i := 0; i < 2; i++ {
+			if _, err := p.WaitChild(t, -1); err != nil {
+				fail("server: wait child", err)
+			}
+		}
+		if served != total {
+			fail("server", fmt.Errorf("served %d of %d requests", served, total))
+		}
 		fmt.Printf("server: handled %d requests; LWP pool grew to %d\n", served, r.PoolSize())
 	}, nil, mt.ProcConfig{})
 	if err != nil {
@@ -165,5 +209,15 @@ func main() {
 	ch <- server
 	<-done
 	server.WaitExit()
+	errMu.Lock()
+	failed := errs
+	errMu.Unlock()
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "netserver: %d request error(s):\n", len(failed))
+		for _, e := range failed {
+			fmt.Fprintln(os.Stderr, "  "+e.Error())
+		}
+		os.Exit(1)
+	}
 	fmt.Println("netserver demo complete")
 }

@@ -246,7 +246,19 @@ func CrossProcessSync(n int) time.Duration {
 // queued. A dispatcher whose pop scans the queue shows per-op cost
 // growing with `queued`; the per-priority bitmap queue is O(1).
 func DispatchLatency(queued, n int) time.Duration {
-	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	return dispatchLatency(queued, n, 0)
+}
+
+// DispatchLatencyTraced is DispatchLatency with the per-CPU event
+// rings enabled, so the cost of hot-path event recording shows up in
+// the measurement. Comparing it against DispatchLatency bounds the
+// tracing overhead (see mtbench -traceoverhead).
+func DispatchLatencyTraced(queued, n int) time.Duration {
+	return dispatchLatency(queued, n, 4096)
+}
+
+func dispatchLatency(queued, n, ring int) time.Duration {
+	sys := mt.NewSystem(mt.Options{NCPU: 1, EventRing: ring})
 	var elapsed time.Duration
 	done := make(chan struct{})
 	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {

@@ -82,10 +82,11 @@ type Config struct {
 
 // Runtime is the threads library instance for one process.
 type Runtime struct {
-	kern *sim.Kernel
-	proc *sim.Process
-	cfg  Config
-	tr   *trace.Buffer
+	kern  *sim.Kernel
+	proc  *sim.Process
+	cfg   Config
+	tr    *trace.Buffer
+	rings *trace.Rings // kernel's event rings (nil: tracing off)
 
 	mu      sync.Mutex
 	threads map[ThreadID]*Thread
@@ -148,6 +149,7 @@ func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
 		proc:     proc,
 		cfg:      cfg,
 		tr:       cfg.Trace,
+		rings:    kern.Rings(),
 		threads:  make(map[ThreadID]*Thread),
 		zombies:  make(map[ThreadID]*Thread),
 		anyWC:    AllocWaitChan(),
@@ -416,6 +418,7 @@ func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
 		return
 	}
 	t.state = ThreadRunning
+	t.msSwitchLocked(m.kern.Clock().Now(), MSUser)
 	t.lwp = pl
 	pl.cur = t
 	first := !t.started
@@ -425,7 +428,7 @@ func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
 
 	// The LWP assumes the thread's identity: its signal mask.
 	m.kern.SetLWPMask(pl.l, sim.SigSetMask, t.mask())
-	m.tr.Add("disp", "lwp %d runs thread %d", pl.l.ID(), t.id)
+	m.rings.Record(pl.l.CurCPU(), trace.EvThreadRun, int(m.proc.PID()), int(pl.l.ID()), int(t.id), 0)
 
 	if first {
 		m.exitWG.Add(1)

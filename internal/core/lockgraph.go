@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"sunosmt/internal/sim"
+	"sunosmt/internal/trace"
 )
 
 // OwnerRef identifies the thread that owns a synchronization object.
@@ -49,6 +50,7 @@ type BlockInfo struct {
 // the described object. Paired with NoteUnblocked.
 func (t *Thread) NoteBlocked(bi *BlockInfo) {
 	t.blocked.Store(bi)
+	t.m.rings.Record(-1, trace.EvLockBlock, int(t.m.proc.PID()), 0, int(t.id), 0)
 }
 
 // NoteUnblocked clears the thread's blocked-on record.

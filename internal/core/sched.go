@@ -333,6 +333,7 @@ func (caller *Thread) Stop(target *Thread) error {
 	case ThreadRunnable:
 		if m.runq.remove(target) {
 			target.state = ThreadStopped
+			target.msSwitchLocked(m.kern.Clock().Now(), MSStopped)
 			m.mu.Unlock()
 			return nil
 		}

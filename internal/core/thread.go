@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"sunosmt/internal/sim"
+	"sunosmt/internal/trace"
 )
 
 // ThreadID identifies a thread within its process; thread IDs have no
@@ -141,6 +143,14 @@ type Thread struct {
 	// publishes it without touching Runtime.mu.
 	blocked atomic.Pointer[BlockInfo]
 
+	// Microstate accounting (see microstate.go): the state being
+	// charged, the virtual time of the last transition, birth time,
+	// and the per-state accumulators. Guarded by m.mu.
+	msState Microstate
+	msMark  time.Duration
+	msBorn  time.Duration
+	msAcc   [NumMicrostates]time.Duration
+
 	// All fields below are guarded by m.mu unless noted.
 	state       ThreadState
 	prio        int
@@ -263,11 +273,14 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		m.ndaemon++
 	}
 	bind := opts.Flags&ThreadBindLWP != 0
+	now := m.kern.Clock().Now()
 	if opts.Flags&ThreadStop != 0 {
 		t.state = ThreadStopped
 		t.stopReq = true
+		t.msInitLocked(now, MSStopped)
 	} else {
 		t.state = ThreadRunnable
+		t.msInitLocked(now, MSRunq)
 	}
 	m.mu.Unlock()
 
@@ -315,6 +328,7 @@ func (m *Runtime) enqueue(t *Thread) {
 		return
 	}
 	t.state = ThreadRunnable
+	t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
 	m.runq.push(t)
 	// Wake an idle LWP if there is one; otherwise ask a
 	// lower-priority running thread to yield.
@@ -446,6 +460,7 @@ func (t *Thread) boundMain() {
 	stopped := t.stopReq
 	if !stopped {
 		t.state = ThreadRunning
+		t.msSwitchLocked(m.kern.Clock().Now(), MSUser)
 	}
 	m.mu.Unlock()
 	t.onCPU.Store(true)
@@ -503,6 +518,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 	}
 	if t.bound() {
 		t.state = state
+		t.msSwitchLocked(m.kern.Clock().Now(), t.msParkState(state))
 		m.mu.Unlock()
 		t.onCPU.Store(false)
 		if state == ThreadStopped {
@@ -511,6 +527,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 		m.kern.Park(t.bndLWP) // kernel park has its own permit
 		m.mu.Lock()
 		t.state = ThreadRunning
+		t.msSwitchLocked(m.kern.Clock().Now(), MSUser)
 		m.mu.Unlock()
 		t.onCPU.Store(true)
 		t.stopIfRequested(state)
@@ -518,6 +535,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 	}
 	pl := t.lwp
 	t.state = state
+	t.msSwitchLocked(m.kern.Clock().Now(), t.msParkState(state))
 	t.lwp = nil
 	if pl != nil && pl.cur == t {
 		// Release the dispatcher's claim now, not when it next runs:
@@ -531,7 +549,7 @@ func (t *Thread) parkSelf(state ThreadState) {
 	if state == ThreadStopped {
 		t.noteStopped()
 	}
-	m.tr.Add("park", "thread %d parks (%v) on lwp %d", t.id, state, pl.l.ID())
+	m.rings.Record(pl.l.CurCPU(), trace.EvThreadPark, int(m.proc.PID()), int(pl.l.ID()), int(t.id), uint64(state))
 	yieldLWP(pl)
 	<-t.gate
 	t.checkKilledPanic()
@@ -573,6 +591,7 @@ func (m *Runtime) unparkInto(t *Thread) {
 		m.mu.Lock()
 		if t.state != ThreadZombie {
 			t.state = ThreadRunnable
+			t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
 		}
 		m.mu.Unlock()
 		m.kern.Unpark(t.bndLWP)
@@ -631,12 +650,14 @@ func (m *Runtime) unparkBatch(ts []*Thread) {
 	}
 	var kicks []*sim.LWP
 	m.mu.Lock()
+	now := m.kern.Clock().Now()
 	maxPrio := -1
 	woken := 0
 	for _, t := range ts {
 		if t.bound() {
 			if t.state != ThreadZombie {
 				t.state = ThreadRunnable
+				t.msSwitchLocked(now, MSRunq)
 			}
 			kicks = append(kicks, t.bndLWP)
 			continue
@@ -647,6 +668,7 @@ func (m *Runtime) unparkBatch(ts []*Thread) {
 				continue // the sweep owns these threads now
 			}
 			t.state = ThreadRunnable
+			t.msSwitchLocked(now, MSRunq)
 			m.runq.push(t)
 			woken++
 			if t.prio > maxPrio {
@@ -691,6 +713,7 @@ func (t *Thread) Yield() {
 	hasWork := m.runq.len() > 0
 	if hasWork {
 		t.state = ThreadRunnable
+		t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
 		m.runq.push(t)
 		pl := t.lwp
 		t.lwp = nil
@@ -735,6 +758,7 @@ func (t *Thread) Checkpoint() {
 		m.mu.Lock()
 		if m.runq.len() > 0 {
 			t.state = ThreadRunnable
+			t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
 			m.runq.push(t)
 			pl := t.lwp
 			t.lwp = nil
@@ -775,6 +799,7 @@ func (t *Thread) retire() {
 		return
 	}
 	t.state = ThreadZombie
+	t.msFinalLocked(m.kern.Clock().Now())
 	pl := t.lwp
 	t.lwp = nil
 	delete(m.threads, t.id)
@@ -891,6 +916,7 @@ func (m *Runtime) threadGone(t *Thread) {
 		return
 	}
 	t.state = ThreadZombie
+	t.msFinalLocked(m.kern.Clock().Now())
 	t.lwp = nil
 	if t.rqOn {
 		m.runq.remove(t)

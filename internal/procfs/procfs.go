@@ -71,6 +71,7 @@ func (pfs *ProcFS) Refresh() error {
 		pfs.mu.Lock()
 		rt := pfs.listers[p.PID()]
 		pfs.mu.Unlock()
+		pfs.attach(dir, "usage", func() []byte { return pfs.usage(p, rt) })
 		if rt != nil {
 			pfs.attach(dir, "threads", func() []byte { return pfs.threadStatus(rt) })
 			pfs.attach(dir, "lstatus", func() []byte { return pfs.lockStatus(rt) })
@@ -126,6 +127,51 @@ func (pfs *ProcFS) lwpStatus(p *sim.Process) []byte {
 			wchan = "-"
 		}
 		fmt.Fprintf(&sb, "%-6d %-10v %-6v %-10v %-10v %s\n", l.ID(), l.State(), l.Class(), u, s, wchan)
+	}
+	return []byte(sb.String())
+}
+
+// usage renders the Solaris prusage-style microstate accounting view:
+// process totals aggregated over the live LWPs, one line per LWP, and
+// — when the threads library registered itself — one line per library
+// thread. Per-row times always sum exactly to the row's TOTAL.
+func (pfs *ProcFS) usage(p *sim.Process, rt *core.Runtime) []byte {
+	lwps := p.LWPs()
+	sort.Slice(lwps, func(i, j int) bool { return lwps[i].ID() < lwps[j].ID() })
+	var sb strings.Builder
+	var agg sim.LWPMicrostates
+	rows := make([]sim.LWPMicrostates, len(lwps))
+	for i, l := range lwps {
+		u := l.Microstates()
+		rows[i] = u
+		agg.OnCPU += u.OnCPU
+		agg.Runq += u.Runq
+		agg.Sleep += u.Sleep
+		agg.Park += u.Park
+		agg.Stopped += u.Stopped
+		agg.Embryo += u.Embryo
+		agg.Total += u.Total
+	}
+	fmt.Fprintf(&sb, "pid:\t%d\n", p.PID())
+	fmt.Fprintf(&sb, "oncpu:\t%v\nrunq:\t%v\nsleep:\t%v\npark:\t%v\nstopped:\t%v\nembryo:\t%v\ntotal:\t%v\n",
+		agg.OnCPU, agg.Runq, agg.Sleep, agg.Park, agg.Stopped, agg.Embryo, agg.Total)
+	fmt.Fprintf(&sb, "%-6s %-10s %-12s %-12s %-12s %-12s %-12s %s\n",
+		"LWPID", "STATE", "ONCPU", "RUNQ", "SLEEP", "PARK", "STOP", "TOTAL")
+	for i, l := range lwps {
+		u := rows[i]
+		fmt.Fprintf(&sb, "%-6d %-10v %-12v %-12v %-12v %-12v %-12v %v\n",
+			l.ID(), u.State, u.OnCPU, u.Runq, u.Sleep, u.Park, u.Stopped, u.Total)
+	}
+	if rt != nil {
+		threads := rt.Threads()
+		sort.Slice(threads, func(i, j int) bool { return threads[i].ID() < threads[j].ID() })
+		fmt.Fprintf(&sb, "%-6s %-10s %-12s %-12s %-12s %-12s %-12s %s\n",
+			"TID", "STATE", "USER", "RUNQ", "SLEEP", "LOCK", "STOP", "TOTAL")
+		for _, t := range threads {
+			ms := t.Microstates()
+			fmt.Fprintf(&sb, "%-6d %-10v %-12v %-12v %-12v %-12v %-12v %v\n",
+				t.ID(), ms.State, ms.User, ms.Runq, ms.Sleep, ms.Lock, ms.Stopped, ms.Total)
+		}
 	}
 	return []byte(sb.String())
 }

@@ -59,8 +59,19 @@ func TestProcStatusAndThreads(t *testing.T) {
 	}, nil); err != nil {
 		t.Fatal(err)
 	}
-	// Let the workers park.
-	for rt.RunnableThreads() > 0 {
+	// Let the workers park. Counting runnables is racy here — the
+	// check can sample before the workers are even created — so wait
+	// until three threads are observably asleep.
+	for {
+		parked := 0
+		for _, th := range rt.Threads() {
+			if th.State() == core.ThreadSleeping {
+				parked++
+			}
+		}
+		if parked >= 3 {
+			break
+		}
 		time.Sleep(100 * time.Microsecond)
 	}
 	if err := pfs.Refresh(); err != nil {
@@ -97,6 +108,16 @@ func TestProcStatusAndThreads(t *testing.T) {
 		}
 		if !strings.Contains(threads, "runq-depth:") || !strings.Contains(threads, "occupancy:") {
 			t.Errorf("threads footer missing run-queue stats:\n%s", threads)
+		}
+		usage := readAll(t, k, opf, l, "/proc/"+itoa(int(pid))+"/usage")
+		if !strings.Contains(usage, "oncpu:") || !strings.Contains(usage, "total:") {
+			t.Errorf("usage missing process totals:\n%s", usage)
+		}
+		if !strings.Contains(usage, "LWPID") {
+			t.Errorf("usage missing per-LWP microstate table:\n%s", usage)
+		}
+		if !strings.Contains(usage, "TID") || !strings.Contains(usage, "LOCK") {
+			t.Errorf("usage missing per-thread microstate table:\n%s", usage)
 		}
 	}()
 	select {

@@ -61,6 +61,11 @@ type Config struct {
 	TimeSlice time.Duration
 	// Trace, if non-nil, receives kernel events.
 	Trace *trace.Buffer
+	// Rings, if non-nil, receives hot-path scheduler events
+	// (dispatch, preemption, wakeup, migration, SIGWAITING) in the
+	// per-CPU binary event rings. Nil disables event tracing with no
+	// cost at the recording sites.
+	Rings *trace.Rings
 	// SignalOnAnyBlock makes the kernel treat every kernel sleep as
 	// an indefinite wait for SIGWAITING purposes. This is the
 	// "send signals on faster events" experiment the paper proposes
@@ -110,6 +115,7 @@ type Kernel struct {
 	cfg   Config
 	clock ktime.Clock
 	tr    *trace.Buffer
+	rings *trace.Rings
 	chaos *chaos.Source
 
 	cpus     []*CPU
@@ -172,6 +178,7 @@ func NewKernel(cfg Config) *Kernel {
 		cfg:   cfg,
 		clock: cfg.Clock,
 		tr:    cfg.Trace,
+		rings: cfg.Rings,
 		chaos: cfg.Chaos,
 		procs: make(map[PID]*Process),
 	}
@@ -189,6 +196,10 @@ func (k *Kernel) NCPU() int { return len(k.cpus) }
 
 // Trace returns the kernel trace buffer (may be nil).
 func (k *Kernel) Trace() *trace.Buffer { return k.tr }
+
+// Rings returns the per-CPU event rings (nil when event tracing is
+// off).
+func (k *Kernel) Rings() *trace.Rings { return k.rings }
 
 // Chaos returns the kernel's chaos source (nil when not configured).
 // The threads library and synchronization layer share it so every
@@ -291,15 +302,20 @@ func (k *Kernel) NewLWP(p *Process, class Class, prio int) (*LWP, error) {
 
 func (k *Kernel) newLWPLocked(p *Process, class Class, prio int) *LWP {
 	p.nextLWP++
+	now := k.clock.Now()
 	l := &LWP{
 		id:        p.nextLWP,
 		proc:      p,
 		state:     LWPEmbryo,
 		class:     class,
 		userPrio:  prio,
-		lastDecay: k.clock.Now(),
+		lastDecay: now,
+		msBorn:    now,
+		msMark:    now,
+		lastCPU:   -1,
 		exited:    make(chan struct{}),
 	}
+	l.curCPU.Store(-1)
 	l.cond = sync.NewCond(&k.mu)
 	p.lwps[l.id] = l
 	p.liveLWPs++
@@ -326,7 +342,7 @@ func (k *Kernel) Start(l *LWP) {
 // --- dispatch ----------------------------------------------------------
 
 func (k *Kernel) makeRunnableLocked(l *LWP) {
-	l.state = LWPRunnable
+	k.setLWPStateLocked(l, k.clock.Now(), LWPRunnable)
 	k.runnable = append(k.runnable, l)
 	k.scheduleLocked()
 }
@@ -418,28 +434,35 @@ func (k *Kernel) pickForLocked(c *CPU) *LWP {
 
 func (k *Kernel) assignLocked(l *LWP, c *CPU) {
 	now := k.clock.Now()
-	l.state = LWPOnCPU
+	k.setLWPStateLocked(l, now, LWPOnCPU)
 	l.cpu = c
 	c.lwp = l
 	l.preempt = false
 	l.onCPUSince = now
 	l.chargeMark = now
-	k.tr.Add("disp", "cpu %d runs pid %d lwp %d (prio %d)", c.id, l.proc.pid, l.id, l.globalPrio())
+	l.curCPU.Store(int32(c.id))
+	if l.lastCPU >= 0 && l.lastCPU != c.id {
+		k.rings.Record(c.id, trace.EvMigrate, int(l.proc.pid), int(l.id), 0, uint64(l.lastCPU))
+	}
+	l.lastCPU = c.id
+	k.rings.Record(c.id, trace.EvDispatch, int(l.proc.pid), int(l.id), 0, uint64(l.globalPrio()))
 	l.cond.Broadcast()
 }
 
 // releaseCPULocked takes the CPU away from l and records the new
 // state. The caller is responsible for queueing/wait bookkeeping.
 func (k *Kernel) releaseCPULocked(l *LWP, newState LWPState) {
+	now := k.clock.Now()
 	if l.cpu == nil {
-		l.state = newState
+		k.setLWPStateLocked(l, now, newState)
 		return
 	}
-	k.chargeLocked(l)
+	k.chargeAtLocked(l, now)
 	c := l.cpu
 	c.lwp = nil
 	l.cpu = nil
-	l.state = newState
+	l.curCPU.Store(-1)
+	k.setLWPStateLocked(l, now, newState)
 	k.scheduleLocked()
 }
 
@@ -510,7 +533,12 @@ func (k *Kernel) removeRunnableLocked(l *LWP) {
 // LWP (user or system depending on the in-syscall flag), feeds the
 // profiling buffer and interval timers, and enforces the CPU rlimit.
 func (k *Kernel) chargeLocked(l *LWP) {
-	now := k.clock.Now()
+	k.chargeAtLocked(l, k.clock.Now())
+}
+
+// chargeAtLocked is chargeLocked with the clock already read, so
+// transition points that also update microstates read it once.
+func (k *Kernel) chargeAtLocked(l *LWP, now time.Duration) {
 	d := now - l.chargeMark
 	l.chargeMark = now
 	if d <= 0 {
@@ -587,6 +615,9 @@ func (k *Kernel) checkpointLocked(l *LWP) {
 	forced := l.state == LWPOnCPU && k.chaos.Preempt()
 	if l.preempt || expired || forced {
 		k.chargeLocked(l)
+		if l.cpu != nil {
+			k.rings.Record(l.cpu.id, trace.EvPreempt, int(l.proc.pid), int(l.id), 0, 0)
+		}
 		k.releaseCPULocked(l, LWPRunnable)
 		k.runnable = append(k.runnable, l)
 		k.scheduleLocked()
@@ -617,11 +648,13 @@ func (k *Kernel) ExitLWP(l *LWP) {
 		return
 	}
 	p := l.proc
+	now := k.clock.Now()
 	if l.cpu != nil {
-		k.chargeLocked(l)
+		k.chargeAtLocked(l, now)
 		c := l.cpu
 		c.lwp = nil
 		l.cpu = nil
+		l.curCPU.Store(-1)
 	}
 	if l.wq != nil {
 		l.wq.remove(l)
@@ -639,7 +672,7 @@ func (k *Kernel) ExitLWP(l *LWP) {
 		l.sleepTimer.Stop()
 		l.sleepTimer = nil
 	}
-	l.state = LWPZombie
+	k.setLWPStateLocked(l, now, LWPZombie)
 	p.deadUser += l.userTime
 	p.deadSys += l.sysTime
 	delete(p.lwps, l.id)

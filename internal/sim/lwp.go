@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -97,6 +98,15 @@ type LWP struct {
 	chargeMark time.Duration // last point CPU time was attributed
 	cpuUsage   time.Duration // decayed usage, drives TS priority
 	lastDecay  time.Duration
+
+	// Microstate accounting (see microstate.go); guarded by
+	// Kernel.mu except curCPU, an atomic mirror of the current CPU
+	// id (-1 off-CPU) read lock-free by the threads library.
+	msBorn  time.Duration
+	msMark  time.Duration
+	msAcc   [NumLWPMicro]time.Duration
+	lastCPU int // previous CPU dispatched on; -1 before first dispatch
+	curCPU  atomic.Int32
 
 	// Sleep state; guarded by Kernel.mu. wqNext/wqPrev are the
 	// intrusive links of the WaitQ the LWP sleeps on.

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kernel-level microstate accounting: the LWP counterpart of the
+// threads library's per-thread microstates. Every LWP state change
+// goes through Kernel.setLWPStateLocked, which charges the interval
+// since the previous change to the outgoing state — one clock read
+// per transition, and the per-state times telescope to the LWP's
+// exact lifetime.
+
+// LWPMicro is one per-LWP accounting state.
+type LWPMicro int
+
+// LWP microstates.
+const (
+	// LMEmbryo: created but not yet started by an animator.
+	LMEmbryo LWPMicro = iota
+	// LMRunq: runnable, waiting for a CPU — kernel dispatch latency.
+	LMRunq
+	// LMOnCPU: holding a CPU.
+	LMOnCPU
+	// LMSleep: blocked on a kernel wait queue or in SigWait.
+	LMSleep
+	// LMPark: parked by the threads library (lwp_park) — an idle
+	// pool LWP, not a blocked one.
+	LMPark
+	// LMStop: stopped by job control.
+	LMStop
+	// NumLWPMicro sizes accumulator arrays.
+	NumLWPMicro
+)
+
+// String implements fmt.Stringer.
+func (ms LWPMicro) String() string {
+	switch ms {
+	case LMEmbryo:
+		return "embryo"
+	case LMRunq:
+		return "runq"
+	case LMOnCPU:
+		return "oncpu"
+	case LMSleep:
+		return "sleep"
+	case LMPark:
+		return "park"
+	case LMStop:
+		return "stopped"
+	}
+	return fmt.Sprintf("LWPMicro(%d)", int(ms))
+}
+
+// lwpMicroOf maps a scheduling state onto the microstate its time is
+// charged to. A zombie never transitions again, so its mapping is
+// never charged.
+func lwpMicroOf(s LWPState) LWPMicro {
+	switch s {
+	case LWPEmbryo, LWPZombie:
+		return LMEmbryo
+	case LWPRunnable:
+		return LMRunq
+	case LWPOnCPU:
+		return LMOnCPU
+	case LWPParked:
+		return LMPark
+	case LWPStopped:
+		return LMStop
+	}
+	return LMSleep // LWPSleeping, LWPSigWait
+}
+
+// LWPMicrostates is a snapshot of one LWP's accumulated state times.
+// The per-state times always sum exactly to Total.
+type LWPMicrostates struct {
+	Embryo  time.Duration // created, not yet running
+	Runq    time.Duration // waiting for a CPU
+	OnCPU   time.Duration // holding a CPU
+	Sleep   time.Duration // blocked in the kernel
+	Park    time.Duration // parked by the library (idle)
+	Stopped time.Duration // job-control stopped
+	Total   time.Duration // lifetime on the virtual clock
+	State   LWPState      // state at snapshot time
+	Dead    bool          // LWP has exited; times are final
+}
+
+// Sum returns the sum of the per-state times (== Total).
+func (u LWPMicrostates) Sum() time.Duration {
+	return u.Embryo + u.Runq + u.OnCPU + u.Sleep + u.Park + u.Stopped
+}
+
+// setLWPStateLocked is the single LWP state-change point: it charges
+// the interval since the last change to the outgoing state's
+// accumulator and enters s. Requires Kernel.mu; callers read the clock
+// once per transition and pass it in.
+func (k *Kernel) setLWPStateLocked(l *LWP, now time.Duration, s LWPState) {
+	l.msAcc[lwpMicroOf(l.state)] += now - l.msMark
+	l.msMark = now
+	l.state = s
+}
+
+// Microstates snapshots the LWP's microstate accounting. For a live
+// LWP the open interval is charged up to now; for an exited LWP the
+// times are final. In both cases Sum() == Total.
+func (l *LWP) Microstates() LWPMicrostates {
+	k := l.proc.kern
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	acc := l.msAcc
+	dead := l.state == LWPZombie
+	now := l.msMark
+	if !dead {
+		if clk := k.clock.Now(); clk > now {
+			now = clk
+		}
+		acc[lwpMicroOf(l.state)] += now - l.msMark
+	}
+	return LWPMicrostates{
+		Embryo:  acc[LMEmbryo],
+		Runq:    acc[LMRunq],
+		OnCPU:   acc[LMOnCPU],
+		Sleep:   acc[LMSleep],
+		Park:    acc[LMPark],
+		Stopped: acc[LMStop],
+		Total:   now - l.msBorn,
+		State:   l.state,
+		Dead:    dead,
+	}
+}
+
+// CurCPU returns the id of the CPU the LWP is currently running on, or
+// -1. Lock-free: the threads library uses it to attribute trace-ring
+// events without taking the kernel lock.
+func (l *LWP) CurCPU() int { return int(l.curCPU.Load()) }

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"sunosmt/internal/trace"
+)
 
 // This file implements the kernel half of the paper's signal model.
 //
@@ -384,7 +388,7 @@ func (k *Kernel) SigWait(l *LWP, set Sigset) Signal {
 			p.sigwaiters--
 			l.sigwaitS = 0
 			// ExitLWP must not double-decrement.
-			l.state = LWPRunnable
+			k.setLWPStateLocked(l, k.clock.Now(), LWPRunnable)
 			k.unwindLocked(l, reason)
 		}
 	}
@@ -411,6 +415,7 @@ func (k *Kernel) maybeSigwaitingLocked(p *Process) {
 	}
 	p.sigwaitingOn = true
 	k.tr.Add("sig", "pid %d: all %d LWPs blocked indefinitely -> SIGWAITING", p.pid, eligible)
+	k.rings.Record(-1, trace.EvSigwaiting, int(p.pid), 0, 0, uint64(eligible))
 	k.postSignalLocked(p, SIGWAITING, nil)
 }
 

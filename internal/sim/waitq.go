@@ -1,6 +1,10 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"sunosmt/internal/trace"
+)
 
 // WaitQ is a kernel sleep queue. LWPs block on wait queues inside
 // system calls (pipe I/O, poll, waitpid, process-shared
@@ -148,7 +152,6 @@ func (k *Kernel) SleepIf(l *LWP, wq *WaitQ, cond func() bool, o SleepOpts) (Wake
 			k.mu.Unlock()
 		})
 	}
-	k.tr.Add("sleep", "pid %d lwp %d sleeps on %s", p.pid, l.id, wq.name)
 	for !l.woken {
 		l.cond.Wait()
 		if reason, bad := k.mustUnwindLocked(l); bad {
@@ -182,6 +185,7 @@ func (k *Kernel) wakeLWPLocked(l *LWP, res WakeResult) {
 	l.wakeRes = res
 	// The process is no longer all-blocked.
 	l.proc.sigwaitingOn = false
+	k.rings.Record(-1, trace.EvWakeup, int(l.proc.pid), int(l.id), 0, uint64(res))
 	l.cond.Broadcast()
 }
 
@@ -211,9 +215,6 @@ func (k *Kernel) wakeupLocked(wq *WaitQ, n int) int {
 		k.wakeLWPLocked(l, WakeNormal)
 		count++
 	}
-	if count > 0 {
-		k.tr.Add("sleep", "wakeup %d on %s", count, wq.name)
-	}
 	return count
 }
 
@@ -230,10 +231,8 @@ func (k *Kernel) Park(l *LWP) {
 		l.parkPermit = false
 		return
 	}
-	p := l.proc
 	k.releaseCPULocked(l, LWPParked)
 	l.woken = false
-	k.tr.Add("park", "pid %d lwp %d parks", p.pid, l.id)
 	for !l.woken {
 		l.cond.Wait()
 		if reason, bad := k.mustUnwindLocked(l); bad {

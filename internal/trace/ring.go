@@ -1,0 +1,264 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the hot-path tracer: fixed-size per-CPU binary event
+// rings with seqlock-style slots. The printf Buffer in trace.go stays
+// for cold-path events (process/LWP lifecycle, pool growth); the
+// scheduler transition points record here instead, so tracing costs a
+// timestamp, an atomic claim and a struct store — never a lock or an
+// allocation.
+
+// EventKind identifies one class of scheduler event.
+type EventKind uint8
+
+// Event kinds recorded by the kernel and the threads library.
+const (
+	EvNone EventKind = iota
+	// EvDispatch: the kernel dispatched an LWP onto a CPU. Arg is the
+	// LWP's global priority.
+	EvDispatch
+	// EvPreempt: an on-CPU LWP was preempted (priority preemption,
+	// time-slice expiry, or chaos-forced).
+	EvPreempt
+	// EvWakeup: a sleeping or parked LWP was woken. Arg is the
+	// WakeResult.
+	EvWakeup
+	// EvMigrate: the LWP was dispatched on a different CPU than its
+	// previous one. Arg is the previous CPU id.
+	EvMigrate
+	// EvSigwaiting: SIGWAITING was posted to the process. Arg is the
+	// number of LWPs found blocked.
+	EvSigwaiting
+	// EvLockBlock: a thread published a wait-for edge on a contended
+	// synchronization object and is about to park.
+	EvLockBlock
+	// EvThreadRun: the library dispatched a thread onto a pool LWP.
+	EvThreadRun
+	// EvThreadPark: a thread parked, handing its LWP back to the
+	// dispatcher. Arg is the library thread state it parked in.
+	EvThreadPark
+	numEventKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvDispatch:
+		return "dispatch"
+	case EvPreempt:
+		return "preempt"
+	case EvWakeup:
+		return "wakeup"
+	case EvMigrate:
+		return "migrate"
+	case EvSigwaiting:
+		return "sigwaiting"
+	case EvLockBlock:
+		return "lockblock"
+	case EvThreadRun:
+		return "threadrun"
+	case EvThreadPark:
+		return "threadpark"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Record is one binary trace event. CPU is the processor the event
+// was attributed to (-1 when the recording site has no CPU in hand —
+// wakeups and lock blocks). TID is zero for kernel-level events.
+type Record struct {
+	Seq  uint64        // global order across all rings
+	When time.Duration // virtual-clock time
+	Kind EventKind
+	CPU  int32
+	PID  int32
+	LWP  int32
+	TID  int32
+	Arg  uint64 // kind-specific payload
+}
+
+// String renders the record as a single line.
+func (r Record) String() string {
+	return fmt.Sprintf("%8d %12v cpu%-3d %-10s pid %-3d lwp %-3d tid %-3d arg %d",
+		r.Seq, r.When, r.CPU, r.Kind, r.PID, r.LWP, r.TID, r.Arg)
+}
+
+// slot is one seqlock-protected ring entry: ver is odd while a writer
+// is mid-store, and bumps by two per overwrite, so a reader that sees
+// the same even value before and after copying the record has a
+// consistent snapshot.
+type slot struct {
+	ver atomic.Uint64
+	rec Record
+}
+
+// ring is one per-CPU buffer. pos is the claim cursor: writers
+// fetch-add it and overwrite slot pos&mask, so the ring keeps the most
+// recent len(slots) events and pos-len(slots) counts the overwritten
+// ones. The trailing pad keeps neighbouring rings' cursors off one
+// cache line.
+type ring struct {
+	pos   atomic.Uint64
+	_     [7]uint64
+	slots []slot
+	mask  uint64
+}
+
+func (rb *ring) record(seq uint64, rec Record) {
+	i := rb.pos.Add(1) - 1
+	s := &rb.slots[i&rb.mask]
+	rec.Seq = seq
+	s.ver.Add(1) // odd: write in progress
+	s.rec = rec
+	s.ver.Add(1) // even: complete
+}
+
+// Rings is a set of per-CPU event rings plus one extra ring for
+// events recorded with no CPU attribution. A nil *Rings discards all
+// events, so call sites need no enabled checks. Writers never block
+// and never allocate; readers use the per-slot versions to skip torn
+// entries, so a snapshot can be taken while the system runs.
+type Rings struct {
+	seq   atomic.Uint64
+	torn  atomic.Uint64
+	now   func() time.Duration
+	rings []ring // index cpu id; last entry is the unattributed ring
+	ncpu  int
+}
+
+// NewRings returns rings for ncpu CPUs, each keeping the most recent
+// perCPU events (rounded up to a power of two, minimum 64). now
+// supplies timestamps; nil records zero times.
+func NewRings(ncpu, perCPU int, now func() time.Duration) *Rings {
+	if ncpu <= 0 {
+		ncpu = 1
+	}
+	size := uint64(64)
+	for size < uint64(perCPU) {
+		size <<= 1
+	}
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	r := &Rings{now: now, ncpu: ncpu, rings: make([]ring, ncpu+1)}
+	for i := range r.rings {
+		r.rings[i].slots = make([]slot, size)
+		r.rings[i].mask = size - 1
+	}
+	return r
+}
+
+func (r *Rings) ring(cpu int) *ring {
+	if cpu >= 0 && cpu < r.ncpu {
+		return &r.rings[cpu]
+	}
+	return &r.rings[r.ncpu]
+}
+
+// Record appends an event to the ring of the given CPU (cpu < 0: the
+// unattributed ring). Record on a nil *Rings is a no-op.
+func (r *Rings) Record(cpu int, kind EventKind, pid, lwp, tid int, arg uint64) {
+	if r == nil {
+		return
+	}
+	r.ring(cpu).record(r.seq.Add(1), Record{
+		When: r.now(),
+		Kind: kind,
+		CPU:  int32(cpu),
+		PID:  int32(pid),
+		LWP:  int32(lwp),
+		TID:  int32(tid),
+		Arg:  arg,
+	})
+}
+
+// NCPU returns the number of per-CPU rings (excluding the
+// unattributed ring).
+func (r *Rings) NCPU() int {
+	if r == nil {
+		return 0
+	}
+	return r.ncpu
+}
+
+// Dropped reports how many recorded events have been overwritten
+// before being read (ring wrap), summed over all rings.
+func (r *Rings) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	var dropped uint64
+	for i := range r.rings {
+		rb := &r.rings[i]
+		if pos, size := rb.pos.Load(), uint64(len(rb.slots)); pos > size {
+			dropped += pos - size
+		}
+	}
+	return dropped
+}
+
+// Torn reports how many slots snapshots have skipped because a writer
+// was overwriting them mid-read.
+func (r *Rings) Torn() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.torn.Load()
+}
+
+// Snapshot copies the retained events out of every ring, merged into
+// one slice ordered by Seq, and reports the overwrite drop count.
+// Slots being overwritten during the copy are skipped (counted by
+// Torn); the system may keep running while a snapshot is taken.
+func (r *Rings) Snapshot() ([]Record, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	var out []Record
+	for i := range r.rings {
+		rb := &r.rings[i]
+		n := rb.pos.Load()
+		if size := uint64(len(rb.slots)); n > size {
+			n = size
+		}
+		for j := uint64(0); j < n; j++ {
+			s := &rb.slots[j]
+			v1 := s.ver.Load()
+			if v1&1 != 0 {
+				r.torn.Add(1)
+				continue
+			}
+			rec := s.rec
+			if s.ver.Load() != v1 {
+				r.torn.Add(1)
+				continue
+			}
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, r.Dropped()
+}
+
+// Kinds returns the snapshot filtered to the given kinds, in Seq
+// order.
+func (r *Rings) Kinds(kinds ...EventKind) []Record {
+	recs, _ := r.Snapshot()
+	var want [numEventKinds]bool
+	for _, k := range kinds {
+		want[k] = true
+	}
+	out := recs[:0]
+	for _, rec := range recs {
+		if want[rec.Kind] {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

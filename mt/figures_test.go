@@ -4,7 +4,6 @@ package mt
 // executable facts (see DESIGN.md's per-experiment index).
 
 import (
-	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,7 +16,7 @@ import (
 // in between — choose (a), execute (b), save state (c), choose
 // another (d).
 func TestFigure2DispatchCycle(t *testing.T) {
-	sys := NewSystem(Options{NCPU: 1, TraceCapacity: 512})
+	sys := NewSystem(Options{NCPU: 1, EventRing: 512})
 	p := spawn(t, sys, "fig2", ProcConfig{}, func(p *Proc, tt *Thread) {
 		r := tt.Runtime()
 		var ids []ThreadID
@@ -32,23 +31,24 @@ func TestFigure2DispatchCycle(t *testing.T) {
 		}
 	})
 	waitProc(t, p)
-	evs := sys.Trace().Kinds("disp")
-	// The library dispatch events ("lwp N runs thread M") must show
-	// one LWP running at least three distinct threads.
-	seen := map[string]bool{}
+	evs := sys.Events().Kinds(EvThreadRun)
+	// The library dispatch events must show one LWP running at least
+	// three distinct threads.
+	perLWP := map[int32]map[int32]bool{}
 	for _, e := range evs {
-		if strings.Contains(e.Msg, "runs thread") {
-			seen[e.Msg] = true
+		if perLWP[e.LWP] == nil {
+			perLWP[e.LWP] = map[int32]bool{}
+		}
+		perLWP[e.LWP][e.TID] = true
+	}
+	max := 0
+	for _, tids := range perLWP {
+		if len(tids) > max {
+			max = len(tids)
 		}
 	}
-	distinct := map[string]bool{}
-	for msg := range seen {
-		if i := strings.Index(msg, "thread"); i >= 0 {
-			distinct[msg[i:]] = true
-		}
-	}
-	if len(distinct) < 3 {
-		t.Fatalf("dispatch trace shows %d distinct threads, want >= 3:\n%v", len(distinct), evs)
+	if max < 3 {
+		t.Fatalf("dispatch trace shows %d distinct threads on one LWP, want >= 3:\n%v", max, evs)
 	}
 }
 

@@ -1,0 +1,153 @@
+package mt
+
+// Chaos sweep for the microstate accounting invariant: every
+// transition charges the elapsed interval to exactly one state, so a
+// thread's per-state times must sum to its lifetime *exactly* — no
+// sampling error, no lost or double-charged intervals — no matter how
+// the schedule is perturbed.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sunosmt/internal/sim"
+)
+
+// TestChaosMicrostateTotals runs a mixed workload (lock contenders,
+// yielders, a stop/continue victim, a bound thread) under the chaos
+// sweep and checks, both on live snapshots and after death, that each
+// thread's and each LWP's microstate times telescope: Sum() == Total.
+func TestChaosMicrostateTotals(t *testing.T) {
+	sweep(t, func(t *testing.T, seed uint64) {
+		sys := NewSystem(chaosOpts(2, seed))
+
+		var reg sync.Mutex
+		var threads []*Thread
+		var lwps []*sim.LWP
+		track := func(c *Thread) {
+			reg.Lock()
+			threads = append(threads, c)
+			reg.Unlock()
+		}
+
+		p := spawn(t, sys, "microstate", ProcConfig{}, func(p *Proc, tt *Thread) {
+			track(tt)
+			r := tt.Runtime()
+			var lk Mutex
+			shared := 0
+			var ids []ThreadID
+
+			// Lock contenders: sleep on a contended mutex (MSLock).
+			for i := 0; i < 3; i++ {
+				c, err := r.Create(func(c *Thread, _ any) {
+					for j := 0; j < 10; j++ {
+						lk.Enter(c)
+						shared++
+						c.Yield()
+						lk.Exit(c)
+					}
+				}, nil, CreateOpts{Flags: ThreadWait})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				track(c)
+				ids = append(ids, c.ID())
+			}
+
+			// Yielders: bounce between MSUser and MSRunq.
+			for i := 0; i < 2; i++ {
+				c, err := r.Create(func(c *Thread, _ any) {
+					for j := 0; j < 20; j++ {
+						c.Yield()
+					}
+				}, nil, CreateOpts{Flags: ThreadWait})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				track(c)
+				ids = append(ids, c.ID())
+			}
+
+			// Bound thread: kernel-scheduled, accrues MSUser across
+			// its kernel blocks while its LWP shows the breakdown.
+			b, err := r.Create(func(c *Thread, _ any) {
+				for j := 0; j < 5; j++ {
+					c.Yield()
+				}
+			}, nil, CreateOpts{Flags: ThreadWait | ThreadBindLWP})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			track(b)
+			ids = append(ids, b.ID())
+			if l := b.LWP(); l != nil {
+				reg.Lock()
+				lwps = append(lwps, l)
+				reg.Unlock()
+			}
+
+			// Stop/continue victim: accrues MSStopped.
+			var release atomic.Bool
+			v, err := r.Create(func(c *Thread, _ any) {
+				for !release.Load() {
+					c.Yield()
+				}
+			}, nil, CreateOpts{Flags: ThreadWait})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			track(v)
+			if err := tt.Stop(v); err != nil {
+				t.Error(err)
+			}
+			// Live snapshot while stopped: the invariant must hold on
+			// the open interval too.
+			if ms := v.Microstates(); ms.Sum() != ms.Total {
+				t.Errorf("live stopped thread: sum %v != total %v (%+v)", ms.Sum(), ms.Total, ms)
+			}
+			if err := r.Continue(v); err != nil {
+				t.Error(err)
+			}
+			release.Store(true)
+			ids = append(ids, v.ID())
+
+			for _, id := range ids {
+				if _, err := tt.Wait(id); err != nil {
+					t.Errorf("wait %d: %v", id, err)
+				}
+			}
+			if shared != 30 {
+				t.Errorf("shared = %d, want 30", shared)
+			}
+		})
+		waitProc(t, p)
+
+		reg.Lock()
+		defer reg.Unlock()
+		for _, th := range threads {
+			ms := th.Microstates()
+			if !ms.Dead {
+				t.Errorf("thread %d: not marked dead after process exit (%+v)", th.ID(), ms)
+			}
+			if ms.Sum() != ms.Total {
+				t.Errorf("thread %d: microstates sum %v != lifetime %v (%+v)",
+					th.ID(), ms.Sum(), ms.Total, ms)
+			}
+		}
+		for _, l := range lwps {
+			u := l.Microstates()
+			if !u.Dead {
+				t.Errorf("lwp %d: not marked dead after process exit (%+v)", l.ID(), u)
+			}
+			if u.Sum() != u.Total {
+				t.Errorf("lwp %d: microstates sum %v != lifetime %v (%+v)",
+					l.ID(), u.Sum(), u.Total, u)
+			}
+		}
+	})
+}

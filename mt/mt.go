@@ -206,6 +206,11 @@ type Options struct {
 	// TraceCapacity enables a system-wide trace ring of the given
 	// size.
 	TraceCapacity int
+	// EventRing enables the per-CPU binary event rings with the
+	// given per-CPU capacity (rounded up to a power of two, minimum
+	// 64). Zero disables event tracing; the recording sites then
+	// cost nothing.
+	EventRing int
 	// SignalOnAnyBlock turns on the paper's proposed "signals on
 	// faster events" variant of SIGWAITING (see internal/sim).
 	SignalOnAnyBlock bool
@@ -244,10 +249,11 @@ func NewChaos(seed uint64) *ChaosSource {
 // System is one simulated machine: CPUs, kernel, file system, and the
 // registry for process-shared synchronization variables.
 type System struct {
-	Kern *sim.Kernel
-	FS   *vfs.FS
-	Reg  *usync.Registry
-	tr   *trace.Buffer
+	Kern  *sim.Kernel
+	FS    *vfs.FS
+	Reg   *usync.Registry
+	tr    *trace.Buffer
+	rings *trace.Rings
 }
 
 // NewSystem boots a machine.
@@ -273,12 +279,22 @@ func NewSystem(o Options) *System {
 		tr = trace.New(o.TraceCapacity, clk.Now)
 		cfg.Trace = tr
 	}
+	var rings *trace.Rings
+	if o.EventRing > 0 {
+		ncpu := o.NCPU
+		if ncpu <= 0 {
+			ncpu = 1
+		}
+		rings = trace.NewRings(ncpu, o.EventRing, clk.Now)
+		cfg.Rings = rings
+	}
 	k := sim.NewKernel(cfg)
 	s := &System{
-		Kern: k,
-		FS:   vfs.NewFS(k),
-		Reg:  usync.NewRegistry(k),
-		tr:   tr,
+		Kern:  k,
+		FS:    vfs.NewFS(k),
+		Reg:   usync.NewRegistry(k),
+		tr:    tr,
+		rings: rings,
 	}
 	return s
 }
@@ -286,6 +302,48 @@ func NewSystem(o Options) *System {
 // Trace returns the system trace buffer (nil unless TraceCapacity was
 // set).
 func (s *System) Trace() *trace.Buffer { return s.tr }
+
+// Events returns the per-CPU binary event rings (nil unless EventRing
+// was set).
+func (s *System) Events() *trace.Rings { return s.rings }
+
+// Observability re-exports: the microstate accounting and binary
+// event tracing layer.
+type (
+	// EventRings is the set of per-CPU binary event rings.
+	EventRings = trace.Rings
+	// EventRecord is one binary trace event.
+	EventRecord = trace.Record
+	// EventKind identifies one class of scheduler event.
+	EventKind = trace.EventKind
+	// Microstates is a per-thread microstate accounting snapshot.
+	Microstates = core.MicrostateTimes
+	// Microstate is one per-thread accounting state.
+	Microstate = core.Microstate
+	// LWPMicrostates is a per-LWP microstate accounting snapshot.
+	LWPMicrostates = sim.LWPMicrostates
+)
+
+// Event kinds recorded in the rings.
+const (
+	EvDispatch   = trace.EvDispatch
+	EvPreempt    = trace.EvPreempt
+	EvWakeup     = trace.EvWakeup
+	EvMigrate    = trace.EvMigrate
+	EvSigwaiting = trace.EvSigwaiting
+	EvLockBlock  = trace.EvLockBlock
+	EvThreadRun  = trace.EvThreadRun
+	EvThreadPark = trace.EvThreadPark
+)
+
+// Thread microstates.
+const (
+	MSUser    = core.MSUser
+	MSRunq    = core.MSRunq
+	MSSleep   = core.MSSleep
+	MSLock    = core.MSLock
+	MSStopped = core.MSStopped
+)
 
 // Clock returns the system clock.
 func (s *System) Clock() ktime.Clock { return s.Kern.Clock() }
