@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5|6|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x]
+//	mtbench [-n iterations] [-fig 5|6|7|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x]
+//
+// -fig 7 is the priority-inversion table (not in the paper): the
+// contended-acquisition triangle with turnstile priority inheritance
+// on and off. The "off" row reproduces the inversion; the gate keeps
+// the "on" row's bounded latency from regressing.
 //
 // -json additionally writes the measured rows as a JSON document (see
 // BENCH_baseline.json for the committed reference run), so successive
@@ -128,9 +133,9 @@ func main() {
 	flag.Parse()
 
 	switch *fig {
-	case -1, 0, 5, 6:
+	case -1, 0, 5, 6, 7:
 	default:
-		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6, 0 (both) or -1 (none)")
+		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6, 7, 0 (all) or -1 (none)")
 		os.Exit(2)
 	}
 	doc := jsonDoc{Iterations: *n}
@@ -143,7 +148,13 @@ func main() {
 	if *fig == 0 || *fig == 6 {
 		rows := benchkit.Figure6(*n)
 		fmt.Print(benchkit.FormatTable("Figure 6: Thread synchronization time", rows))
+		fmt.Println()
 		doc.Rows = append(doc.Rows, toJSONRows(6, rows)...)
+	}
+	if *fig == 0 || *fig == 7 {
+		rows := benchkit.Figure7(*n)
+		fmt.Print(benchkit.FormatTable("Priority inversion (turnstile inheritance on/off; not in paper)", rows))
+		doc.Rows = append(doc.Rows, toJSONRows(7, rows)...)
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")

@@ -6,18 +6,98 @@
 // Chorus's objection to two-level scheduling); a crowd of unbound
 // background threads shares one timeshare LWP. On a single CPU, the
 // RT thread preempts the background work at every dispatch decision.
+//
+// The second demo is the classic priority-inversion triangle — a
+// low-priority thread holds a mutex a high-priority thread needs
+// while a medium-priority spinner hogs the only LWP — run once with
+// turnstile priority inheritance (the default) and once with the
+// NoPriorityInheritance ablation. With inheritance the high thread's
+// acquisition must meet its deadline; the demo exits non-zero if it
+// starves.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"sync/atomic"
 	"time"
 
 	"sunosmt/internal/sim"
 	"sunosmt/mt"
 )
 
+// inversionLatency runs the triangle once and returns how long the
+// high-priority (10) thread's mutex acquisition took while the
+// low-priority (1) owner was runnable below a medium-priority (5)
+// yield-spinner on one CPU.
+func inversionLatency(inherit bool) time.Duration {
+	const spinBudget = 100_000
+	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	done := make(chan struct{})
+	var latency atomic.Int64
+	var mu mt.Mutex
+	var ready, sGo mt.Sema
+	_, err := sys.Spawn("inversion", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		low, err := r.Create(func(c *mt.Thread, _ any) {
+			mu.Enter(c)
+			ready.V(c)
+			c.Yield() // let the high-priority acquirer block behind us
+			mu.Exit(c)
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait, Priority: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		medium, err := r.Create(func(c *mt.Thread, _ any) {
+			sGo.P(c)
+			for i := 0; i < spinBudget; i++ {
+				c.Yield() // compute-bound: outranks the bare owner
+			}
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait, Priority: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready.P(t) // low now owns the lock
+		high, err := r.Create(func(c *mt.Thread, _ any) {
+			sGo.V(c) // spinner becomes runnable...
+			start := time.Now()
+			mu.Enter(c) // ...while we block behind low
+			latency.Store(int64(time.Since(start)))
+			mu.Exit(c)
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait, Priority: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Wait(high.ID())
+		t.Wait(low.ID())
+		t.Wait(medium.ID())
+	}, nil, mt.ProcConfig{NoPriorityInheritance: !inherit})
+	if err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	return time.Duration(latency.Load())
+}
+
 func main() {
+	controlLoopDemo()
+
+	const deadline = 5 * time.Millisecond
+	withPI := inversionLatency(true)
+	withoutPI := inversionLatency(false)
+	fmt.Printf("\npriority-inversion triangle (low holds, medium spins, high blocks):\n")
+	fmt.Printf("high-priority acquisition with inheritance:    %v\n", withPI)
+	fmt.Printf("high-priority acquisition without inheritance: %v\n", withoutPI)
+	if withPI > deadline {
+		fmt.Printf("FAIL: high-priority thread starved past its %v deadline\n", deadline)
+		os.Exit(1)
+	}
+	fmt.Printf("deadline %v met: turnstile willing boosted the owner past the spinner\n", deadline)
+}
+
+func controlLoopDemo() {
 	sys := mt.NewSystem(mt.Options{NCPU: 1, TimeSlice: 2 * time.Millisecond})
 	done := make(chan struct{})
 	ch := make(chan *mt.Proc, 1)

@@ -12,6 +12,7 @@ package benchkit
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"sunosmt/mt"
@@ -392,6 +393,94 @@ func ContendedMutex(lwps, workers, per int) time.Duration {
 	return elapsed
 }
 
+// PriorityInversion measures the latency of a high-priority mutex
+// acquisition from a low-priority owner while a medium-priority
+// spinner competes for the only LWP — the classic priority-inversion
+// triangle. Per round the measurer (priority 20) lets the holder
+// (priority 1) take the lock, releases the spinner (priority 5, a
+// bounded yield loop), and times its own blocking Enter. With
+// inheritance the blocked Enter wills priority 20 to the holder, which
+// then outranks the spinner and releases promptly: latency is bounded
+// by the critical section. With inherit=false (the
+// NoPriorityInheritance ablation) the holder stays at priority 1 and
+// cannot run until the spinner exhausts its budget, so the measured
+// latency grows with the spinner's budget — the inversion the
+// turnstiles exist to prevent. The reported duration covers n
+// acquisitions.
+func PriorityInversion(n int, inherit bool) time.Duration {
+	// One CPU, like the paper's measurement machine: the inversion
+	// needs the spinner to be able to starve the holder.
+	const spinBudget = 512
+	sys := mt.NewSystem(mt.Options{NCPU: 1})
+	var elapsed time.Duration
+	done := make(chan struct{})
+	var stop atomic.Bool
+	var mu mt.Mutex
+	var lGo, sGo, ready mt.Sema
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		if _, err := r.SetPriority(t, 20); err != nil {
+			panic(err)
+		}
+		holder, err := r.Create(func(c *mt.Thread, _ any) {
+			for {
+				lGo.P(c)
+				if stop.Load() {
+					return
+				}
+				mu.Enter(c)
+				ready.V(c)
+				// Hand the LWP back to the measurer; without
+				// inheritance we run again — and release — only
+				// after the spinner drains its budget.
+				c.Yield()
+				mu.Exit(c)
+			}
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait, Priority: 1})
+		if err != nil {
+			panic(err)
+		}
+		spinner, err := r.Create(func(c *mt.Thread, _ any) {
+			for {
+				sGo.P(c)
+				if stop.Load() {
+					return
+				}
+				for i := 0; i < spinBudget; i++ {
+					c.Yield()
+				}
+			}
+		}, nil, mt.CreateOpts{Flags: mt.ThreadWait, Priority: 5})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < n; i++ {
+			lGo.V(t)
+			ready.P(t) // holder owns the lock once this returns
+			sGo.V(t)   // spinner is runnable, outranking the holder
+			start := time.Now()
+			mu.Enter(t)
+			elapsed += time.Since(start)
+			mu.Exit(t)
+		}
+		stop.Store(true)
+		lGo.V(t)
+		sGo.V(t)
+		t.Wait(holder.ID())
+		t.Wait(spinner.ID())
+	}, nil, mt.ProcConfig{
+		DefaultStackSize:      4096,
+		NoPriorityInheritance: !inherit,
+	})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+	return elapsed
+}
+
 // Row is one line of a paper-style results table.
 type Row struct {
 	Name     string
@@ -439,6 +528,29 @@ func Figure6(n int) []Row {
 	}
 }
 
+// Figure7 runs the priority-inversion experiment — not a figure of
+// the paper, which predates the turnstile work, but measured in its
+// style: the same triangle with inheritance on and off. The "off" row
+// needs far fewer rounds because each one deliberately pays the
+// spinner's full budget.
+func Figure7(n int) []Row {
+	if n <= 0 {
+		n = 20000
+	}
+	nOn := n / 4
+	if nOn == 0 {
+		nOn = 1
+	}
+	nOff := n / 64
+	if nOff == 0 {
+		nOff = 1
+	}
+	return []Row{
+		{Name: "Contended enter, inheritance", Measured: PriorityInversion(nOn, true), Ops: nOn},
+		{Name: "Contended enter, inversion", Measured: PriorityInversion(nOff, false), Ops: nOff},
+	}
+}
+
 // FormatTable renders rows in the paper's format: a time column and a
 // ratio column giving each row's ratio to the previous row, plus the
 // paper's numbers alongside.
@@ -451,9 +563,15 @@ func FormatTable(title string, rows []Row) string {
 		ratio, paperRatio := "", ""
 		if i > 0 {
 			ratio = fmt.Sprintf("%.2f", us/prev)
-			paperRatio = fmt.Sprintf("%.2f", r.PaperUS/prevPaper)
+			if prevPaper > 0 {
+				paperRatio = fmt.Sprintf("%.2f", r.PaperUS/prevPaper)
+			}
 		}
-		out += fmt.Sprintf("%-28s %10.2fus %8s %12.0f %8s\n", r.Name, us, ratio, r.PaperUS, paperRatio)
+		paperCol := "-"
+		if r.PaperUS > 0 {
+			paperCol = fmt.Sprintf("%.0f", r.PaperUS)
+		}
+		out += fmt.Sprintf("%-28s %10.2fus %8s %12s %8s\n", r.Name, us, ratio, paperCol, paperRatio)
 		prev, prevPaper = us, r.PaperUS
 	}
 	return out

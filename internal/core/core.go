@@ -78,6 +78,12 @@ type Config struct {
 	// disables aging. Aging applies only under automatic sizing
 	// (thread_setconcurrency 0) and never retires the last LWP.
 	LWPAgeTime time.Duration
+	// NoPriorityInheritance disables turnstile priority
+	// inheritance: blocking acquirers no longer will their effective
+	// priority to lock owners. The ablation knob behind the
+	// PriorityInversion bench and the examples/realtime demo; sleep
+	// queues stay priority-ordered either way.
+	NoPriorityInheritance bool
 }
 
 // Runtime is the threads library instance for one process.

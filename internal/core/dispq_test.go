@@ -301,3 +301,48 @@ func TestRunqStats(t *testing.T) {
 	})
 	waitExit(t, m)
 }
+
+// TestSetPriorityRepositionsSleepingWaiter: raising the priority of a
+// thread that is already parked on a wait channel must reposition it
+// within its sleep-queue bucket, so the next DequeueOne returns it
+// ahead of earlier-queued equals — the raise-while-blocked half of
+// priority-ordered sleep queues.
+func TestSetPriorityRepositionsSleepingWaiter(t *testing.T) {
+	wc := AllocWaitChan()
+	m := rt(t, 1, Config{}, func(self *Thread, _ any) {
+		r := self.Runtime()
+		sleeper := func() *Thread {
+			th, err := r.Create(func(c *Thread, _ any) {
+				wc.Enqueue(c)
+				c.Park()
+			}, nil, CreateOpts{Flags: ThreadWait, Priority: 1})
+			if err != nil {
+				t.Error(err)
+				return nil
+			}
+			for c := 0; th.State() != ThreadSleeping; c++ {
+				if c > 1_000_000 {
+					t.Fatal("thread never parked")
+				}
+				self.Yield()
+			}
+			return th
+		}
+		a := sleeper() // queued first
+		b := sleeper() // queued second, same priority
+		if _, err := r.SetPriority(b, 5); err != nil {
+			t.Errorf("SetPriority on sleeping thread: %v", err)
+		}
+		if got := wc.DequeueOne(); got != b {
+			t.Errorf("first dequeue after raising b = %v, want b (tid %d)", got, b.ID())
+		}
+		if got := wc.DequeueOne(); got != a {
+			t.Errorf("second dequeue = %v, want a (tid %d)", got, a.ID())
+		}
+		a.Unpark()
+		b.Unpark()
+		self.Wait(a.ID())
+		self.Wait(b.ID())
+	})
+	waitExit(t, m)
+}

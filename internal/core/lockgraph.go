@@ -44,6 +44,12 @@ type BlockInfo struct {
 	Kind  string // "mutex", "rwlock", "sema", "cond"
 	Name  string
 	Owner func() (OwnerRef, bool)
+	// Ts, when non-nil, is the blocking object's turnstile: the
+	// priority-inheritance walk (Thread.WillPriority) wills the
+	// acquirer's effective priority to its owner chain through it.
+	// Objects with no single local owner (cond, sema, process-shared
+	// variants) leave it nil, which ends the chain there.
+	Ts *Turnstile
 }
 
 // NoteBlocked publishes that the thread is about to park waiting for

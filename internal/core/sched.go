@@ -47,10 +47,10 @@ type dispQ struct {
 
 func (r *runQueue) len() int { return r.n }
 
-// push appends t to the tail of its priority level (FIFO among
-// equals) and marks the level active.
+// push appends t to the tail of its effective-priority level (FIFO
+// among equals) and marks the level active.
 func (r *runQueue) push(t *Thread) {
-	lvl := prioLevel(t.prio)
+	lvl := prioLevel(int(t.effPrio.Load()))
 	t.rqLevel = lvl
 	t.rqOn = true
 	t.rqNext = nil
@@ -173,8 +173,8 @@ func (r *runQueue) maxPrio() int {
 	}
 	best := -1
 	for t := r.qs[lvl].head; t != nil; t = t.rqNext {
-		if t.prio > best {
-			best = t.prio
+		if p := int(t.effPrio.Load()); p > best {
+			best = p
 		}
 	}
 	return best
@@ -189,8 +189,9 @@ type PrioCount struct {
 
 // RunqStats reports the run-queue depth and the per-priority
 // occupancy (ascending priority), for mtstat and /proc. Counts are by
-// actual thread priority, not queue level, so clamped priorities
-// above the level cap report distinctly.
+// actual effective thread priority — what the dispatcher orders by —
+// not queue level, so clamped priorities above the level cap report
+// distinctly.
 func (m *Runtime) RunqStats() (int, []PrioCount) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -198,7 +199,7 @@ func (m *Runtime) RunqStats() (int, []PrioCount) {
 	counts := make(map[int]int)
 	for lvl := 0; lvl < NumPrioLevels; lvl++ {
 		for t := m.runq.qs[lvl].head; t != nil; t = t.rqNext {
-			counts[t.prio]++
+			counts[int(t.effPrio.Load())]++
 		}
 	}
 	prios := make([]int, 0, len(counts))
@@ -395,9 +396,14 @@ func (t *Thread) noteStopped() {
 	m.unparkBatch(waiters)
 }
 
-// SetPriority implements thread_priority: it sets the target's
+// SetPriority implements thread_priority: it sets the target's base
 // priority and returns the old one. Priority must be >= 0; increasing
-// values give increasing scheduling priority.
+// values give increasing scheduling priority. The effective priority
+// is recomputed as max(base, held-turnstile boosts), and setEffLocked
+// moves the thread wherever priority orders it — its run-queue level
+// if queued runnable, and its position within its sleep-queue bucket
+// if blocked (so a raised sleeper wakes ahead of its old equals, not
+// at its stale FIFO slot).
 func (m *Runtime) SetPriority(target *Thread, prio int) (int, error) {
 	if prio < 0 {
 		return 0, ErrBadPrio
@@ -405,22 +411,16 @@ func (m *Runtime) SetPriority(target *Thread, prio int) (int, error) {
 	m.mu.Lock()
 	old := target.prio
 	target.prio = prio
-	if target.rqOn {
-		// A queued runnable thread moves to its new level now, so
-		// the change takes effect at the next pop; it re-queues at
-		// the new level's tail (FIFO among its new equals).
-		m.runq.unlink(target)
-		m.runq.push(target)
+	eff := prio
+	if h := m.heldMaxLocked(target); h > eff {
+		eff = h
 	}
-	// A raised priority may warrant preempting a running thread.
-	if target.state == ThreadRunnable {
-		m.flagPreemptionLocked(prio)
-	}
+	m.setEffLocked(target, eff)
 	m.mu.Unlock()
 	if target.bound() {
-		// Map thread priority onto the bound LWP's class priority
-		// so the kernel dispatcher honours it.
-		p := prio
+		// Map the effective priority onto the bound LWP's class
+		// priority so the kernel dispatcher honours it.
+		p := eff
 		if p > sim.MaxUserPrio {
 			p = sim.MaxUserPrio
 		}
@@ -431,7 +431,8 @@ func (m *Runtime) SetPriority(target *Thread, prio int) (int, error) {
 	return old, nil
 }
 
-// Priority returns the thread's current priority.
+// Priority returns the thread's current base priority (what
+// thread_priority set; see EffPriority for the inherited one).
 func (t *Thread) Priority() int {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()

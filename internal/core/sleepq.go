@@ -8,13 +8,16 @@ import (
 // Sharded sleep queues — the library's stand-in for Solaris's
 // sleepq_head hash of turnstiles. Every blocking object (a tsync
 // primitive's waiter list, a thread's thread_wait channel) allocates a
-// WaitChan: one FIFO of parked waiters whose lock comes from a fixed
-// hashed array of shard locks, exactly as Solaris hashes a sleep
-// channel into sleepq_head[]. Threads blocking on objects that hash to
-// different shards therefore touch disjoint locks instead of
-// contending on one global structure, and a waiter is removed from the
-// middle of a queue (timed-wait cancel, a waiter deregistering only
-// itself) in O(1) through the intrusive sqNext/sqPrev links on Thread.
+// WaitChan: one queue of parked waiters, ordered by descending
+// effective priority and FIFO among equals (exactly the sleep-queue
+// order the Solaris dispatcher keeps, so a wakeup always takes the
+// best waiter), whose lock comes from a fixed hashed array of shard
+// locks, exactly as Solaris hashes a sleep channel into sleepq_head[].
+// Threads blocking on objects that hash to different shards therefore
+// touch disjoint locks instead of contending on one global structure,
+// and a waiter is removed from the middle of a queue (timed-wait
+// cancel, a waiter deregistering only itself) in O(1) through the
+// intrusive sqNext/sqPrev links on Thread.
 //
 // Real Solaris hashes the address of the awaited object; Go forbids
 // taking stable object addresses without unsafe, so each channel is
@@ -43,8 +46,9 @@ var (
 	sleepqLock [sleepqShards]sync.Mutex
 )
 
-// sleepqBucket is one channel's FIFO of waiters, linked intrusively
-// through Thread.sqNext/sqPrev; guarded by its shard's lock.
+// sleepqBucket is one channel's queue of waiters — descending
+// effective priority, FIFO among equals — linked intrusively through
+// Thread.sqNext/sqPrev; guarded by its shard's lock.
 type sleepqBucket struct {
 	shard      uint64
 	head, tail *Thread
@@ -61,23 +65,75 @@ func (wc WaitChan) Valid() bool { return wc.b != nil }
 
 func (wc WaitChan) lock() *sync.Mutex { return &sleepqLock[wc.b.shard] }
 
-// Enqueue appends t to the channel's FIFO. The thread must not be
-// queued on any channel (a thread waits on at most one object).
+// Enqueue inserts t into the channel's queue in priority-then-FIFO
+// order. The thread must not be queued on any channel (a thread waits
+// on at most one object).
 func (wc WaitChan) Enqueue(t *Thread) {
 	mu := wc.lock()
 	mu.Lock()
-	b := wc.b
+	wc.b.insertLocked(t)
+	mu.Unlock()
+}
+
+// insertLocked places t by descending effective priority, FIFO among
+// equals (it goes behind every waiter at its own priority); the shard
+// lock is held. The common case — equal priorities — walks to the tail
+// only when a strictly lower-priority waiter exists, so uniform-
+// priority workloads keep the old append-at-tail cost via the tail
+// check below.
+func (b *sleepqBucket) insertLocked(t *Thread) {
 	t.sqBkt.Store(b)
-	t.sqNext = nil
-	if b.tail == nil {
-		t.sqPrev = nil
-		b.head, b.tail = t, t
-	} else {
+	p := t.effPrio.Load()
+	if b.tail == nil || b.tail.effPrio.Load() >= p {
+		// Empty, or t belongs at the tail (the usual FIFO case).
+		t.sqNext = nil
 		t.sqPrev = b.tail
-		b.tail.sqNext = t
+		if b.tail == nil {
+			b.head = t
+		} else {
+			b.tail.sqNext = t
+		}
 		b.tail = t
+		b.n++
+		return
 	}
+	at := b.head
+	for at.effPrio.Load() >= p {
+		at = at.sqNext // tail check above guarantees a stop
+	}
+	t.sqNext = at
+	t.sqPrev = at.sqPrev
+	if at.sqPrev == nil {
+		b.head = t
+	} else {
+		at.sqPrev.sqNext = t
+	}
+	at.sqPrev = t
 	b.n++
+}
+
+// reposition re-sorts t within its bucket after an effective-priority
+// change, if it is still queued there. Callers may hold Runtime.mu;
+// the shard lock is a leaf. t.sqBkt stays set throughout so a
+// concurrent teardown (sleepqDetach) never misses the thread.
+func (wc WaitChan) reposition(t *Thread) {
+	mu := wc.lock()
+	mu.Lock()
+	if t.sqBkt.Load() == wc.b {
+		b := wc.b
+		if t.sqPrev != nil {
+			t.sqPrev.sqNext = t.sqNext
+		} else {
+			b.head = t.sqNext
+		}
+		if t.sqNext != nil {
+			t.sqNext.sqPrev = t.sqPrev
+		} else {
+			b.tail = t.sqPrev
+		}
+		b.n--
+		b.insertLocked(t)
+	}
 	mu.Unlock()
 }
 
@@ -98,7 +154,8 @@ func (b *sleepqBucket) unlinkLocked(t *Thread) {
 	b.n--
 }
 
-// DequeueOne removes and returns the oldest waiter, or nil.
+// DequeueOne removes and returns the best waiter — highest effective
+// priority, oldest among equals — or nil.
 func (wc WaitChan) DequeueOne() *Thread {
 	mu := wc.lock()
 	mu.Lock()
@@ -110,7 +167,8 @@ func (wc WaitChan) DequeueOne() *Thread {
 	return t
 }
 
-// DequeueAll removes every waiter, returned in FIFO order.
+// DequeueAll removes every waiter, returned in queue (priority-then-
+// FIFO) order.
 func (wc WaitChan) DequeueAll() []*Thread {
 	mu := wc.lock()
 	mu.Lock()

@@ -143,6 +143,17 @@ type Thread struct {
 	// publishes it without touching Runtime.mu.
 	blocked atomic.Pointer[BlockInfo]
 
+	// effPrio is the effective (inherited) dispatch priority: the
+	// base priority plus any boost willed through held turnstiles.
+	// The run queue and the sleep queues order by it. Written only
+	// under m.mu (setEffLocked); atomic so the inheritance walk and
+	// the sleep-queue insert read it without m.mu.
+	effPrio atomic.Int32
+
+	// heldTs heads the list of turnstiles this thread owns (the
+	// locks it holds that track ownership); guarded by m.mu.
+	heldTs *Turnstile
+
 	// Microstate accounting (see microstate.go): the state being
 	// charged, the virtual time of the last transition, birth time,
 	// and the per-state accumulators. Guarded by m.mu.
@@ -240,6 +251,7 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 	if opts.Priority > 0 {
 		t.prio = opts.Priority
 	}
+	t.effPrio.Store(int32(t.prio))
 	// Stack: caller-supplied, else from the library's cache. TLS
 	// is placed in the stack allocation so the library does not
 	// interfere with the application's memory allocator.
@@ -337,7 +349,7 @@ func (m *Runtime) enqueue(t *Thread) {
 		wake = m.idle[n-1]
 		m.idle = m.idle[:n-1]
 	} else {
-		m.flagPreemptionLocked(t.prio)
+		m.flagPreemptionLocked(int(t.effPrio.Load()))
 	}
 	m.mu.Unlock()
 	if wake != nil {
@@ -345,16 +357,16 @@ func (m *Runtime) enqueue(t *Thread) {
 	}
 }
 
-// flagPreemptionLocked marks the lowest-priority running unbound
-// thread for preemption if it is beneath prio.
+// flagPreemptionLocked marks the lowest-effective-priority running
+// unbound thread for preemption if it is beneath prio.
 func (m *Runtime) flagPreemptionLocked(prio int) {
 	var victim *Thread
 	for _, pl := range m.pool {
-		if pl.cur != nil && (victim == nil || pl.cur.prio < victim.prio) {
+		if pl.cur != nil && (victim == nil || pl.cur.effPrio.Load() < victim.effPrio.Load()) {
 			victim = pl.cur
 		}
 	}
-	if victim != nil && victim.prio < prio {
+	if victim != nil && int(victim.effPrio.Load()) < prio {
 		victim.preempt = true
 	}
 }
@@ -671,8 +683,8 @@ func (m *Runtime) unparkBatch(ts []*Thread) {
 			t.msSwitchLocked(now, MSRunq)
 			m.runq.push(t)
 			woken++
-			if t.prio > maxPrio {
-				maxPrio = t.prio
+			if p := int(t.effPrio.Load()); p > maxPrio {
+				maxPrio = p
 			}
 		case ThreadZombie:
 		default:
@@ -800,6 +812,7 @@ func (t *Thread) retire() {
 	}
 	t.state = ThreadZombie
 	t.msFinalLocked(m.kern.Clock().Now())
+	m.dropTurnstilesLocked(t)
 	pl := t.lwp
 	t.lwp = nil
 	delete(m.threads, t.id)
@@ -917,6 +930,7 @@ func (m *Runtime) threadGone(t *Thread) {
 	}
 	t.state = ThreadZombie
 	t.msFinalLocked(m.kern.Clock().Now())
+	m.dropTurnstilesLocked(t)
 	t.lwp = nil
 	if t.rqOn {
 		m.runq.remove(t)

@@ -180,13 +180,13 @@ func (pfs *ProcFS) threadStatus(rt *core.Runtime) []byte {
 	threads := rt.Threads()
 	sort.Slice(threads, func(i, j int) bool { return threads[i].ID() < threads[j].ID() })
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-6s %s\n", "TID", "STATE", "PRIO", "BOUND", "BLOCKED-ON")
+	fmt.Fprintf(&sb, "%-6s %-10s %-6s %-6s %-6s %s\n", "TID", "STATE", "PRIO", "EPRI", "BOUND", "BLOCKED-ON")
 	for _, t := range threads {
 		blocked := "-"
 		if bi := t.BlockedOn(); bi != nil {
 			blocked = bi.Kind + ":" + bi.Name
 		}
-		fmt.Fprintf(&sb, "%-6d %-10v %-6d %-6v %s\n", t.ID(), t.State(), t.Priority(), t.Bound(), blocked)
+		fmt.Fprintf(&sb, "%-6d %-10v %-6d %-6d %-6v %s\n", t.ID(), t.State(), t.Priority(), t.EffPriority(), t.Bound(), blocked)
 	}
 	fmt.Fprintf(&sb, "pool-lwps: %d  runnable: %d\n", rt.PoolSize(), rt.RunnableThreads())
 	depth, occ := rt.RunqStats()

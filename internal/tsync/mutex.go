@@ -25,7 +25,8 @@ type Mutex struct {
 	owner   *core.Thread
 	variant Variant
 	waiters waitq
-	name    string // lazily assigned; identifies the lock in lstatus
+	ts      core.Turnstile // priority-inheritance anchor (local only)
+	name    string         // lazily assigned; identifies the lock in lstatus
 
 	// sv, when non-nil, makes this a process-shared mutex whose
 	// state lives in mapped memory at the variable's offset:
@@ -81,7 +82,7 @@ func (mp *Mutex) blockInfo() *core.BlockInfo {
 			return core.OwnerRef{PID: pid, TID: core.ThreadID(tid)}, true
 		}}
 	}
-	return &core.BlockInfo{Kind: "mutex", Name: name, Owner: func() (core.OwnerRef, bool) {
+	return &core.BlockInfo{Kind: "mutex", Name: name, Ts: &mp.ts, Owner: func() (core.OwnerRef, bool) {
 		mp.mu.Lock()
 		o := mp.owner
 		mp.mu.Unlock()
@@ -171,6 +172,7 @@ func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
 		if !mp.held {
 			mp.held = true
 			mp.owner = t
+			mp.ts.Acquired(t)
 			mp.mu.Unlock()
 			return nil
 		}
@@ -210,6 +212,7 @@ func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
 			mp.mu.Unlock()
 			continue // released between probes: re-try
 		}
+		mp.ts.SetQueue(mp.waiters.chanOf())
 		mp.waiters.push(t)
 		mp.mu.Unlock()
 		if chaosOf(t).SpuriousWakeup() {
@@ -226,6 +229,10 @@ func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
 			bi = mp.blockInfo()
 		}
 		t.NoteBlocked(bi)
+		// Will our effective priority down the ownership chain so
+		// the holder (and whatever it is blocked on) outranks us
+		// while we park — the turnstile priority inheritance.
+		t.WillPriority()
 		if d > 0 {
 			if timedOut := parkTimed(t, clk, deadline, func() bool {
 				mp.mu.Lock()
@@ -295,6 +302,7 @@ func (mp *Mutex) TryEnter(t *core.Thread) bool {
 	}
 	mp.held = true
 	mp.owner = t
+	mp.ts.Acquired(t)
 	return true
 }
 
@@ -313,6 +321,10 @@ func (mp *Mutex) Exit(t *core.Thread) {
 	}
 	mp.owner = nil
 	mp.held = false
+	// Shed any boost willed through this lock; the handoff below
+	// wakes the highest-priority waiter (the queue is priority-
+	// ordered).
+	mp.ts.Released(t)
 	wake := mp.waiters.pop()
 	mp.mu.Unlock()
 	if wake != nil {

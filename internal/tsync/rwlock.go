@@ -37,8 +37,9 @@ type RWLock struct {
 	owner     *core.Thread // writer owner (wait-for graph)
 	wwaiting  int          // writers waiting
 	upgrading bool
-	rq        waitq // blocked readers
-	wq        waitq // blocked writers
+	rq        waitq          // blocked readers
+	wq        waitq          // blocked writers
+	ts        core.Turnstile // priority-inheritance anchor (writer owner)
 	name      string
 
 	// sv (process-shared variant): word 0 = readers, word 1 =
@@ -87,7 +88,7 @@ func (rw *RWLock) blockInfo() *core.BlockInfo {
 			return core.OwnerRef{PID: pid, TID: core.ThreadID(tid)}, true
 		}}
 	}
-	return &core.BlockInfo{Kind: "rwlock", Name: name, Owner: func() (core.OwnerRef, bool) {
+	return &core.BlockInfo{Kind: "rwlock", Name: name, Ts: &rw.ts, Owner: func() (core.OwnerRef, bool) {
 		rw.mu.Lock()
 		o := rw.owner
 		rw.mu.Unlock()
@@ -185,8 +186,10 @@ func (rw *RWLock) enterLocal(t *core.Thread, typ RWType, d time.Duration) error 
 		}
 		if typ == RWWriter {
 			rw.wwaiting++
+			rw.ts.SetQueue(rw.wq.chanOf())
 			rw.wq.push(t)
 		} else {
+			rw.ts.SetQueue2(rw.rq.chanOf())
 			rw.rq.push(t)
 		}
 		rw.mu.Unlock()
@@ -198,6 +201,7 @@ func (rw *RWLock) enterLocal(t *core.Thread, typ RWType, d time.Duration) error 
 			t.Checkpoint() // chaos: spurious wakeup, park elided
 		} else if d > 0 {
 			t.NoteBlocked(bi)
+			t.WillPriority() // boost the writer holding us out
 			timedOut = parkTimed(t, clk, deadline, func() bool {
 				rw.mu.Lock()
 				var removed bool
@@ -212,6 +216,7 @@ func (rw *RWLock) enterLocal(t *core.Thread, typ RWType, d time.Duration) error 
 			t.NoteUnblocked()
 		} else {
 			t.NoteBlocked(bi)
+			t.WillPriority() // boost the writer holding us out
 			t.Park()
 			t.NoteUnblocked()
 		}
@@ -243,6 +248,7 @@ func (rw *RWLock) tryLocked(t *core.Thread, typ RWType) bool {
 		}
 		rw.writer = true
 		rw.owner = t
+		rw.ts.Acquired(t)
 		return true
 	}
 	if rw.writer || rw.wwaiting > 0 {
@@ -279,6 +285,7 @@ func (rw *RWLock) Exit(t *core.Thread) {
 	case rw.writer:
 		rw.writer = false
 		rw.owner = nil
+		rw.ts.Released(t) // shed any boost willed by blocked acquirers
 	case rw.readers > 0:
 		rw.readers--
 	default:
@@ -315,6 +322,7 @@ func (rw *RWLock) Downgrade(t *core.Thread) {
 	}
 	rw.writer = false
 	rw.owner = nil
+	rw.ts.Released(t) // readers hold no turnstile
 	rw.readers = 1
 	if rw.wwaiting == 0 {
 		wakeAll = rw.rq.popAll()
@@ -339,6 +347,7 @@ func (rw *RWLock) TryUpgrade(t *core.Thread) bool {
 	rw.readers = 0
 	rw.writer = true
 	rw.owner = t
+	rw.ts.Acquired(t)
 	return true
 }
 

@@ -95,8 +95,9 @@ const (
 // immediately. The cap catches pathological long critical sections.
 const adaptiveSpinCap = 128
 
-// waitq is a FIFO of parked threads, fronted by the primitive's
-// internal word lock. The word lock (a plain Go mutex) models the
+// waitq is a queue of parked threads — ordered by descending
+// effective priority, FIFO among equals, so pop always wakes the best
+// waiter — fronted by the primitive's internal word lock. The word lock (a plain Go mutex) models the
 // hardware atomic instruction sequence of a real implementation: it
 // is never held while parked. The waiters themselves hang off one
 // channel of the core package's sharded sleep-queue table (the
@@ -139,7 +140,8 @@ func (w *waitq) len() int {
 	return w.wc.Len()
 }
 
-// popAll empties the queue, returning the waiters in FIFO order.
+// popAll empties the queue, returning the waiters in queue
+// (priority-then-FIFO) order.
 func (w *waitq) popAll() []*core.Thread {
 	if !w.wc.Valid() {
 		return nil

@@ -1,0 +1,162 @@
+package mt
+
+// Priority-inheritance chaos sweeps. The invariant under every
+// perturbed schedule: while any thread is blocked on an owned local
+// mutex, the owner's effective priority is at least the highest
+// effective priority in the chain blocked behind it, and once the
+// turnstiles drain every thread's effective priority returns to its
+// base.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sunosmt/internal/core"
+)
+
+// blockedOnMutex reports whether th is parked on a local mutex. A
+// thread observed in this state has published its blocking edge and
+// completed its priority-willing walk (both happen before it parks),
+// so inheritance assertions made afterwards are race-free: the boost
+// cannot shed until the owner releases.
+func blockedOnMutex(th *Thread) bool {
+	if th.State() != core.ThreadSleeping {
+		return false
+	}
+	bi := th.BlockedOn()
+	return bi != nil && bi.Kind == "mutex"
+}
+
+// TestChaosPriorityInheritance drives a three-deep blocking chain —
+// high blocks on mu2 held by mid, mid blocks on mu1 held by low —
+// under 100 perturbed schedules and asserts the willed priorities at
+// the moment the chain is fully formed, then the drain back to base.
+func TestChaosPriorityInheritance(t *testing.T) {
+	sweep(t, func(t *testing.T, seed uint64) {
+		sys := NewSystem(chaosOpts(2, seed))
+		var mu1, mu2 Mutex
+		var gate1, sig1, sig2 Sema
+		var afterLow, afterMid, afterHigh atomic.Int32
+		var effLow, effMid atomic.Int32
+		p := spawn(t, sys, "chaos-pi", ProcConfig{}, func(p *Proc, tt *Thread) {
+			rt := tt.Runtime()
+			low, err := rt.Create(func(ct *Thread, _ any) {
+				mu1.Enter(ct)
+				sig1.V(ct)
+				gate1.P(ct) // hold mu1 while parked elsewhere
+				mu1.Exit(ct)
+				afterLow.Store(int32(ct.EffPriority()))
+			}, nil, CreateOpts{Flags: ThreadWait, Priority: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mid, err := rt.Create(func(ct *Thread, _ any) {
+				sig1.P(ct) // mu1 is held before we try it
+				mu2.Enter(ct)
+				sig2.V(ct)
+				mu1.Enter(ct) // blocks behind low
+				mu1.Exit(ct)
+				mu2.Exit(ct)
+				afterMid.Store(int32(ct.EffPriority()))
+			}, nil, CreateOpts{Flags: ThreadWait, Priority: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			high, err := rt.Create(func(ct *Thread, _ any) {
+				sig2.P(ct)    // mu2 is held before we try it
+				mu2.Enter(ct) // blocks behind mid
+				mu2.Exit(ct)
+				afterHigh.Store(int32(ct.EffPriority()))
+			}, nil, CreateOpts{Flags: ThreadWait, Priority: 8})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Wait for the full chain: high asleep on mu2 AND mid
+			// asleep on mu1 (spurious wakeups re-park and re-will, so
+			// a single observation of both suffices).
+			for i := 0; !(blockedOnMutex(high) && blockedOnMutex(mid)); i++ {
+				if i > 10_000_000 {
+					t.Error("blocking chain never formed")
+					return
+				}
+				tt.Yield()
+			}
+			effMid.Store(int32(mid.EffPriority()))
+			effLow.Store(int32(low.EffPriority()))
+			gate1.V(tt)
+			tt.Wait(low.ID())
+			tt.Wait(mid.ID())
+			tt.Wait(high.ID())
+		})
+		waitProc(t, p)
+		// While high (eff 8) was blocked behind mid, and mid behind
+		// low, both owners must have been boosted to at least 8.
+		if got := effMid.Load(); got < 8 {
+			t.Errorf("eff(mid) with high blocked on its mutex = %d, want >= 8", got)
+		}
+		if got := effLow.Load(); got < 8 {
+			t.Errorf("eff(low) at the end of the chain = %d, want >= 8 (transitive will)", got)
+		}
+		// Once each thread released its locks, the boost must drain.
+		if got := afterLow.Load(); got != 1 {
+			t.Errorf("eff(low) after release = %d, want base 1", got)
+		}
+		if got := afterMid.Load(); got != 2 {
+			t.Errorf("eff(mid) after release = %d, want base 2", got)
+		}
+		if got := afterHigh.Load(); got != 8 {
+			t.Errorf("eff(high) after release = %d, want base 8", got)
+		}
+	})
+}
+
+// TestChaosInheritanceDrains: a melee over two mutexes with mixed
+// priorities and nesting; every thread asserts its effective priority
+// is back at its base after it has released everything — no schedule
+// may leak a boost past the turnstile drain.
+func TestChaosInheritanceDrains(t *testing.T) {
+	sweep(t, func(t *testing.T, seed uint64) {
+		const iters = 20
+		sys := NewSystem(chaosOpts(2, seed))
+		var mu1, mu2 Mutex
+		var leaks atomic.Int32
+		p := spawn(t, sys, "chaos-pi-drain", ProcConfig{}, func(p *Proc, tt *Thread) {
+			rt := tt.Runtime()
+			prios := []int{1, 2, 5, 8}
+			ids := make([]ThreadID, 0, len(prios))
+			for i, prio := range prios {
+				prio, nest := prio, i%2 == 0
+				c, err := rt.Create(func(ct *Thread, _ any) {
+					for j := 0; j < iters; j++ {
+						mu1.Enter(ct)
+						if nest {
+							mu2.Enter(ct)
+							ct.Checkpoint()
+							mu2.Exit(ct)
+						}
+						ct.Checkpoint()
+						mu1.Exit(ct)
+					}
+					if ct.EffPriority() != prio {
+						leaks.Add(1)
+					}
+				}, nil, CreateOpts{Flags: ThreadWait, Priority: prio})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ids = append(ids, c.ID())
+			}
+			for _, id := range ids {
+				tt.Wait(id)
+			}
+		})
+		waitProc(t, p)
+		if n := leaks.Load(); n != 0 {
+			t.Fatalf("%d threads finished with a leaked priority boost", n)
+		}
+	})
+}

@@ -360,6 +360,9 @@ type ProcConfig struct {
 	// unbound pool after that much idle time — the paper's answer to
 	// pools sized for a burst that has passed. Zero disables aging.
 	LWPAgeTime time.Duration
+	// NoPriorityInheritance disables turnstile priority inheritance
+	// (ablation: demonstrates unbounded priority inversion).
+	NoPriorityInheritance bool
 }
 
 // Proc is a running UNIX process: kernel process + address space +
@@ -394,12 +397,13 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		p.AS.SetFaultFn(kp.AddFault)
 	}
 	p.RT = core.NewRuntime(s.Kern, kp, core.Config{
-		Trace:             s.tr,
-		MaxAutoLWPs:       cfg.MaxAutoLWPs,
-		DisableSigwaiting: cfg.DisableSigwaiting,
-		DefaultStackSize:  cfg.DefaultStackSize,
-		LWPAgeTime:        cfg.LWPAgeTime,
-		InitialLWP:        initial,
+		Trace:                 s.tr,
+		MaxAutoLWPs:           cfg.MaxAutoLWPs,
+		DisableSigwaiting:     cfg.DisableSigwaiting,
+		DefaultStackSize:      cfg.DefaultStackSize,
+		LWPAgeTime:            cfg.LWPAgeTime,
+		NoPriorityInheritance: cfg.NoPriorityInheritance,
+		InitialLWP:            initial,
 	})
 	// errno is the canonical unshared variable: register it before
 	// the first thread starts, as the run-time linker would.
