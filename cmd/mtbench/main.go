@@ -6,12 +6,24 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5|6|7|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x]
+//	mtbench [-n iterations] [-fig 5,..,9|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x]
 //
 // -fig 7 is the priority-inversion table (not in the paper): the
 // contended-acquisition triangle with turnstile priority inheritance
 // on and off. The "off" row reproduces the inversion; the gate keeps
 // the "on" row's bounded latency from regressing.
+//
+// -fig 8 is the dispatch-scaling table (not in the paper): per-op
+// ready-queue cost at NCPU in {1,4,16,64} with the pre-sharding shared
+// queue vs the per-CPU shards. -fig 9 reports the kernel dispatcher's
+// steal rate per 100 dispatches and the median cross-CPU wakeup
+// latency, computed from the per-CPU event rings. Steal opportunities
+// depend on how the host interleaves waker and wakee, so the fig 9
+// magnitudes swing 2-3x run to run on a busy host; CI gates figs 5-8
+// at 1.5x and fig 9 in a separate invocation at a documented looser
+// threshold, with the deterministic part (steals happen at all)
+// asserted by TestFigure9Smoke instead. -fig accepts a comma list
+// ("5,6,7,8") to support exactly that split.
 //
 // -json additionally writes the measured rows as a JSON document (see
 // BENCH_baseline.json for the committed reference run), so successive
@@ -39,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"sunosmt/internal/benchkit"
@@ -123,38 +137,73 @@ func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, err
 	return regressed, nil
 }
 
+// parseFigs turns the -fig value into the set of figures to run:
+// "0" means all, "-1" means none, otherwise a comma-separated list
+// drawn from 5-9 (e.g. "5,6,7,8").
+func parseFigs(s string) (map[int]bool, error) {
+	want := make(map[int]bool)
+	switch s {
+	case "0":
+		for f := 5; f <= 9; f++ {
+			want[f] = true
+		}
+		return want, nil
+	case "-1":
+		return want, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || f < 5 || f > 9 {
+			return nil, fmt.Errorf("-fig must be a comma list from 5-9, 0 (all) or -1 (none); got %q", s)
+		}
+		want[f] = true
+	}
+	return want, nil
+}
+
 func main() {
 	n := flag.Int("n", 20000, "iterations per measurement")
-	fig := flag.Int("fig", 0, "which figure to run (5 or 6; 0 = both)")
+	fig := flag.String("fig", "0", "figures to run: comma list from 5-9, 0 (all) or -1 (none)")
 	jsonPath := flag.String("json", "", "also write rows as JSON to this file (- for stdout)")
 	basePath := flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
 	threshold := flag.Float64("threshold", 1.5, "per-op regression ratio tolerated by -baseline")
 	traceOverhead := flag.Float64("traceoverhead", 0, "if > 0, gate traced-vs-untraced dispatch latency at this ratio")
 	flag.Parse()
 
-	switch *fig {
-	case -1, 0, 5, 6, 7:
-	default:
-		fmt.Fprintln(os.Stderr, "mtbench: -fig must be 5, 6, 7, 0 (all) or -1 (none)")
+	want, err := parseFigs(*fig)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mtbench:", err)
 		os.Exit(2)
 	}
 	doc := jsonDoc{Iterations: *n}
-	if *fig == 0 || *fig == 5 {
+	if want[5] {
 		rows := benchkit.Figure5(*n)
 		fmt.Print(benchkit.FormatTable("Figure 5: Thread creation time", rows))
 		fmt.Println()
 		doc.Rows = append(doc.Rows, toJSONRows(5, rows)...)
 	}
-	if *fig == 0 || *fig == 6 {
+	if want[6] {
 		rows := benchkit.Figure6(*n)
 		fmt.Print(benchkit.FormatTable("Figure 6: Thread synchronization time", rows))
 		fmt.Println()
 		doc.Rows = append(doc.Rows, toJSONRows(6, rows)...)
 	}
-	if *fig == 0 || *fig == 7 {
+	if want[7] {
 		rows := benchkit.Figure7(*n)
 		fmt.Print(benchkit.FormatTable("Priority inversion (turnstile inheritance on/off; not in paper)", rows))
+		fmt.Println()
 		doc.Rows = append(doc.Rows, toJSONRows(7, rows)...)
+	}
+	if want[8] {
+		rows := benchkit.Figure8(*n)
+		fmt.Print(benchkit.FormatTable("Dispatch scaling (shared queue vs per-CPU shards; not in paper)", rows))
+		fmt.Println()
+		doc.Rows = append(doc.Rows, toJSONRows(8, rows)...)
+	}
+	if want[9] {
+		rows := benchkit.Figure9(*n)
+		fmt.Print(benchkit.FormatTable("Steal rate and cross-CPU wakeup latency (not in paper)", rows))
+		doc.Rows = append(doc.Rows, toJSONRows(9, rows)...)
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")

@@ -70,6 +70,15 @@ func main() {
 			}
 		}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
 		ids = append(ids, b.ID())
+		// Confine the bound thread to a processor set so the pset and
+		// binding columns of /proc/sched and psinfo have rows to show.
+		ps := sys.PsetCreate()
+		if err := sys.PsetAssign(ps, 1); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.PsetBind(b, ps); err != nil {
+			log.Fatal(err)
+		}
 		for {
 			select {
 			case <-stopCh:
@@ -101,11 +110,14 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Printf("=== snapshot %d ===\n", tick+1)
+			if data, err := readFile(p, t, "/proc/sched"); err == nil {
+				fmt.Printf("--- /proc/sched ---\n%s", data)
+			}
 			pids, err := sys.FS.ReadDir("/", "/proc")
 			if err != nil {
 				log.Fatal(err)
 			}
-			files := []string{"status", "lwps", "threads"}
+			files := []string{"status", "lwps", "threads", "psinfo"}
 			if *micro {
 				files = append(files, "usage")
 			}

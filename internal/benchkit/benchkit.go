@@ -12,6 +12,8 @@ package benchkit
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -481,6 +483,148 @@ func PriorityInversion(n int, inherit bool) time.Duration {
 	return elapsed
 }
 
+// DispatchScaling measures the library ready-queue layer at a given
+// width: ncpu workers hammer a dispatcher configured with either one
+// shard (the pre-sharding shared queue, every pop under one lock) or
+// ncpu shards (each worker popping from its affine shard). The
+// returned durations cover ncpu*iters pop+push pairs each; the
+// shared/sharded per-op ratio is the dispatch throughput gain.
+//
+// Both sides warm up once and keep the best of three runs,
+// interleaved like gateTraceOverhead, so host noise and first-run
+// effects (allocator, cold code paths) hit shared and sharded alike.
+func DispatchScaling(ncpu, iters int) (shared, sharded time.Duration) {
+	best := func(cur, d time.Duration) time.Duration {
+		if cur == 0 || d < cur {
+			return d
+		}
+		return cur
+	}
+	mt.DispatchBench(1, ncpu, iters/4+1)
+	mt.DispatchBench(ncpu, ncpu, iters/4+1)
+	for i := 0; i < 3; i++ {
+		shared = best(shared, mt.DispatchBench(1, ncpu, iters))
+		sharded = best(sharded, mt.DispatchBench(ncpu, ncpu, iters))
+	}
+	return shared, sharded
+}
+
+// StealWakeup runs a steal- and wakeup-heavy kernel workload — pairs
+// of bound threads ping-ponging on semaphores while bound yielders
+// keep every CPU busy, three times as many LWPs as CPUs — and reports
+// the dispatcher's steal traffic and cross-CPU wakeup cost: how many
+// dispatches and steals the kernel performed, and the latency samples
+// from a wakeup to the woken LWP's dispatch on a *different* CPU
+// (paired through the event rings: EvWakeup to the EvMigrate of the
+// same LWP's next dispatch). Low-priority bound spinners keep the
+// CPUs occupied with on-CPU work: a woken ping-pong LWP then cannot
+// find a free CPU and queues, outranking the spinners — so it reaches
+// a CPU either by preempting a spinner or by a CPU that frees up
+// stealing it from a sibling's queue. Both paths are cross-CPU
+// dispatches; the second is the steal traffic the rate row measures.
+func StealWakeup(rounds int) (dispatches, steals uint64, lat []time.Duration) {
+	const ncpu, pairs, spinners = 4, 4, 4
+	sys := mt.NewSystem(mt.Options{NCPU: ncpu, EventRing: 1 << 15})
+	done := make(chan struct{})
+	var stop atomic.Bool
+	var sink atomic.Uint64
+	p, err := sys.Spawn("bench", func(t *mt.Thread, _ any) {
+		defer close(done)
+		r := t.Runtime()
+		ids := make([]mt.ThreadID, 0, 2*pairs+spinners)
+		for i := 0; i < spinners; i++ {
+			c, err := r.Create(func(c *mt.Thread, _ any) {
+				for !stop.Load() {
+					for j := 0; j < 64; j++ {
+						sink.Add(1)
+					}
+					c.Checkpoint()
+					// Yield the *host* CPU so the serialized host
+					// schedules blocked ping-pong goroutines promptly;
+					// the simulated CPU stays held by this LWP.
+					runtime.Gosched()
+				}
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+			if err != nil {
+				panic(err)
+			}
+			// Timeshare floor: every woken ping-pong LWP outranks the
+			// spinners, so wakeups preempt and steals favor them.
+			if err := sys.Priocntl(c, mt.ClassTS, 0); err != nil {
+				panic(err)
+			}
+			ids = append(ids, c.ID())
+		}
+		for i := 0; i < pairs; i++ {
+			var s1, s2 mt.Sema
+			// The Gosched after each V keeps the waker's LWP on CPU
+			// while the woken LWP's goroutine re-enters the kernel
+			// run queue — the overlap a parallel host gives for free.
+			// Without it a serialized host runs the waker until it
+			// blocks, and the wakee always finds its old CPU free.
+			a, err := r.Create(func(c *mt.Thread, _ any) {
+				for j := 0; j < rounds; j++ {
+					s2.P(c)
+					s1.V(c)
+					runtime.Gosched()
+				}
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+			if err != nil {
+				panic(err)
+			}
+			b, err := r.Create(func(c *mt.Thread, _ any) {
+				for j := 0; j < rounds; j++ {
+					s2.V(c)
+					runtime.Gosched()
+					s1.P(c)
+				}
+			}, nil, mt.CreateOpts{Flags: mt.ThreadWait | mt.ThreadBindLWP})
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, a.ID(), b.ID())
+		}
+		for _, id := range ids[spinners:] {
+			t.Wait(id)
+		}
+		stop.Store(true)
+		for _, id := range ids[:spinners] {
+			t.Wait(id)
+		}
+	}, nil, mt.ProcConfig{DefaultStackSize: 4096})
+	if err != nil {
+		panic(err)
+	}
+	<-done
+	p.WaitExit()
+
+	for _, cs := range sys.SchedStats() {
+		dispatches += cs.Dispatches
+		steals += cs.Steals
+	}
+	recs, _ := sys.Events().Snapshot()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	// EvMigrate is recorded immediately before the same dispatch's
+	// EvDispatch, so a pending wakeup that reaches an EvMigrate first
+	// was a cross-CPU wakeup; one that reaches EvDispatch first was
+	// dispatched back onto its last CPU and is dropped.
+	pending := make(map[int32]time.Duration)
+	for _, rec := range recs {
+		switch rec.Kind {
+		case mt.EvWakeup:
+			pending[rec.LWP] = rec.When
+		case mt.EvMigrate:
+			if w, ok := pending[rec.LWP]; ok {
+				lat = append(lat, rec.When-w)
+				delete(pending, rec.LWP)
+			}
+		case mt.EvDispatch:
+			delete(pending, rec.LWP)
+		}
+	}
+	return dispatches, steals, lat
+}
+
 // Row is one line of a paper-style results table.
 type Row struct {
 	Name     string
@@ -549,6 +693,73 @@ func Figure7(n int) []Row {
 		{Name: "Contended enter, inheritance", Measured: PriorityInversion(nOn, true), Ops: nOn},
 		{Name: "Contended enter, inversion", Measured: PriorityInversion(nOff, false), Ops: nOff},
 	}
+}
+
+// Figure8 runs the dispatch-scaling experiment (not in the paper,
+// which measured a uniprocessor): per-op ready-queue cost at NCPU in
+// {1, 4, 16, 64}, shared single queue vs per-CPU shards. Adjacent
+// rows share an NCPU, so the table's ratio column under each "per-CPU
+// shards" row is its speedup over the shared queue (< 1 is faster).
+func Figure8(n int) []Row {
+	if n <= 0 {
+		n = 20000
+	}
+	var rows []Row
+	for _, ncpu := range []int{1, 4, 16, 64} {
+		shared, sharded := DispatchScaling(ncpu, n)
+		ops := ncpu * n
+		rows = append(rows,
+			Row{Name: fmt.Sprintf("Dispatch NCPU=%d shared queue", ncpu), Measured: shared, Ops: ops},
+			Row{Name: fmt.Sprintf("Dispatch NCPU=%d per-CPU shards", ncpu), Measured: sharded, Ops: ops},
+		)
+	}
+	return rows
+}
+
+// Figure9 runs the steal/wakeup experiment (not in the paper) and
+// reports two rows in Row's time-per-op format:
+//
+//   - "Steal rate per 100 dispatches": the per-op value is not a time
+//     but a rate — steals per 100 kernel dispatches — encoded so the
+//     baseline gate can watch it (more stealing means more cross-CPU
+//     traffic per unit of useful dispatch work).
+//   - "Cross-CPU wakeup latency": the median wakeup-to-dispatch time
+//     for wakeups whose LWP was dispatched on a different CPU.
+func Figure9(n int) []Row {
+	if n <= 0 {
+		n = 20000
+	}
+	rounds := n / 4
+	if rounds == 0 {
+		rounds = 1
+	}
+	// The steal traffic a single trial generates depends on how the
+	// host interleaves the waker and wakee goroutines, which varies
+	// run to run; pool several trials so the rate and the latency
+	// median come from one wide sample instead of one narrow one.
+	const trials = 5
+	var dispatches, steals uint64
+	var lat []time.Duration
+	for i := 0; i < trials; i++ {
+		d, s, l := StealWakeup(rounds)
+		dispatches += d
+		steals += s
+		lat = append(lat, l...)
+	}
+	// Encode the rate in Row's duration/ops form: Measured carries
+	// steals*100 "microseconds" so PerOp yields steals*100/dispatches.
+	rateRow := Row{
+		Name:     "Steal rate per 100 dispatches",
+		Measured: time.Duration(steals*100) * time.Microsecond,
+		Ops:      int(dispatches),
+	}
+	var median time.Duration
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		median = lat[len(lat)/2]
+	}
+	latRow := Row{Name: "Cross-CPU wakeup latency", Measured: median, Ops: 1}
+	return []Row{rateRow, latRow}
 }
 
 // FormatTable renders rows in the paper's format: a time column and a

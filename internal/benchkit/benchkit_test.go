@@ -45,6 +45,37 @@ func TestFigure6Smoke(t *testing.T) {
 	}
 }
 
+func TestFigure8Smoke(t *testing.T) {
+	rows := Figure8(100)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Measured <= 0 || r.Ops <= 0 {
+			t.Fatalf("row %q not measured: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestFigure9Smoke checks the structural property behind the fig 9
+// rows: with low-priority spinners holding every CPU, each ping-pong
+// wakeup must queue behind them, so the run exercises preemption and
+// stealing and pairs at least some wakeups with cross-CPU dispatches.
+// The wall-clock magnitudes are noisy on a shared host (CI gates them
+// only loosely); steals happening at all is the deterministic part.
+func TestFigure9Smoke(t *testing.T) {
+	dispatches, steals, lat := StealWakeup(200)
+	if dispatches == 0 {
+		t.Fatal("no dispatches recorded")
+	}
+	if steals == 0 {
+		t.Fatal("no steals: spinner occupancy no longer forces queued wakeups")
+	}
+	if len(lat) == 0 {
+		t.Fatal("no cross-CPU wakeup latency samples paired from the event rings")
+	}
+}
+
 func TestFormatTableShape(t *testing.T) {
 	rows := []Row{
 		{Name: "first", PaperUS: 10, Measured: 1000, Ops: 1},

@@ -92,6 +92,17 @@ type Config struct {
 	// detection pass. Cycles found are order-independent; the site
 	// exercises the walk itself.
 	DetectReorder int
+	// StealReorder makes a work-stealing dispatcher (kernel per-CPU
+	// queues and the library's sharded run queue alike) steal from a
+	// different victim queue than the best one. The thief still
+	// takes *a* queued item, so perturbation never idles a CPU or
+	// LWP while work exists — only placement is explored.
+	StealReorder int
+	// BalanceEarly runs the periodic run-queue balancer ahead of its
+	// period at a scheduling point. Early balancing is the safe
+	// direction: moves only ever shift queued work toward idler
+	// CPUs, and the work-conservation invariant is unaffected.
+	BalanceEarly int
 
 	// JournalCapacity bounds the event journal (default 4096).
 	JournalCapacity int
@@ -116,6 +127,8 @@ func DefaultConfig(seed uint64) Config {
 		SweepReorder:   300,
 		AgeOutEarly:    150,
 		DetectReorder:  200,
+		StealReorder:   150,
+		BalanceEarly:   100,
 	}
 }
 
@@ -322,6 +335,25 @@ func (s *Source) DetectReorder(n int) int {
 		return -1
 	}
 	return s.choose("core.detect", n, s.cfg.DetectReorder)
+}
+
+// StealReorder returns the index of the victim queue a work-stealing
+// dispatcher should steal from instead of the best-priority one, or
+// -1 to keep the best. n is the number of queues with stealable work.
+func (s *Source) StealReorder(n int) int {
+	if s == nil {
+		return -1
+	}
+	return s.choose("sched.steal", n, s.cfg.StealReorder)
+}
+
+// BalanceEarly reports whether the periodic run-queue balancer should
+// run now, ahead of its configured period.
+func (s *Source) BalanceEarly() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("sched.balance", s.cfg.BalanceEarly)
 }
 
 // Jitter perturbs a timer duration by up to ±MaxTimerJitter, never

@@ -31,14 +31,19 @@
 //
 // # Locking
 //
-// Runtime.mu guards all library-level scheduling state. It is never
-// held across a kernel call that can block (Park, Sleep, Start); it
-// may be held across non-blocking kernel calls (Unpark).
+// Runtime.mu guards the library-level scheduling state except the
+// ready queue, which is sharded per simulated CPU under its own locks
+// (see dispatcher.go) so dispatch traffic does not serialize on
+// Runtime.mu. Lock order is Runtime.mu -> shard lock; the dispatcher
+// never takes Runtime.mu. Runtime.mu is never held across a kernel
+// call that can block (Park, Sleep, Start); it may be held across
+// non-blocking kernel calls (Unpark).
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sunosmt/internal/chaos"
@@ -100,7 +105,11 @@ type Runtime struct {
 	nlive   int // threads not yet zombies
 	ndaemon int // live daemon threads
 
-	runq     runQueue
+	// disp is the per-CPU sharded ready queue; its shard locks are
+	// leaves under mu (see dispatcher.go). dying is atomic so the
+	// dispatch fast path reads it without mu.
+	disp     *dispatcher
+	dying    atomic.Bool
 	idle     []*poolLWP // idle pool LWPs, LIFO
 	pool     []*poolLWP // all pool LWPs
 	nparked  int
@@ -112,7 +121,6 @@ type Runtime struct {
 	zombies   map[ThreadID]*Thread // THREAD_WAIT zombies awaiting thread_wait
 	anyWC     WaitChan             // thread_wait(0) callers sleep here
 	tsdKeys   []tsdEntry
-	dying     bool
 	exitWG    sync.WaitGroup // animator goroutines
 	exitedCh  chan struct{}
 	exitOnce  sync.Once
@@ -127,8 +135,16 @@ type poolLWP struct {
 	l       *sim.LWP
 	back    chan struct{} // current thread returns control here
 	cur     *Thread       // guarded by Runtime.mu
-	die     bool          // retire at next dispatch point; guarded by mu
+	die     atomic.Bool   // retire at next dispatch point
 	counted bool          // counted in Runtime.retiring; guarded by mu
+
+	// fair makes this LWP's next pop use global FIFO-among-equals
+	// order instead of affinity-first, so a thr_yield lets every
+	// earlier-queued equal-priority thread run regardless of which
+	// shard it sits on. Set by the yielding thread before it hands
+	// control back, read by the dispatch loop; the pl.back handoff
+	// orders the accesses.
+	fair bool
 }
 
 // allSigs is the fully-blocked mask installed on idle pool LWPs so
@@ -160,6 +176,7 @@ func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
 		zombies:  make(map[ThreadID]*Thread),
 		anyWC:    AllocWaitChan(),
 		exitedCh: make(chan struct{}),
+		disp:     newDispatcher(kern.NCPU()),
 	}
 	// The library consumes SIGWAITING privately (the hook is its
 	// ASLWP stand-in) and grows the pool when the kernel reports
@@ -228,7 +245,7 @@ func (m *Runtime) Shutdown() { m.sweepDying() }
 // most once (killed flag), and the grant is non-blocking.
 func (m *Runtime) sweepDying() {
 	m.mu.Lock()
-	m.dying = true
+	m.dying.Store(true)
 	var parked []*Thread
 	for _, t := range m.threads {
 		if t.state != ThreadRunning && t.state != ThreadZombie && !t.bound() && t.started && !t.killed {
@@ -236,7 +253,7 @@ func (m *Runtime) sweepDying() {
 			parked = append(parked, t)
 		}
 	}
-	m.runq.clear()
+	m.disp.clear()
 	m.stackCache = nil // shutdown releases the stack cache
 	m.mu.Unlock()
 	for _, t := range parked {
@@ -330,18 +347,36 @@ func (m *Runtime) sweepIfDying() {
 // in the kernel while there is no work. A nil return retires the LWP.
 func (m *Runtime) nextThread(pl *poolLWP) *Thread {
 	for {
+		if pl.die.Load() || m.dying.Load() {
+			pl.die.Store(true)
+			return nil
+		}
+		// Hot path: pop straight off the dispatcher shard of the
+		// CPU this LWP is on — Runtime.mu is not involved while
+		// work is available.
+		fair := pl.fair
+		pl.fair = false
+		if t := m.disp.pop(m.kern.Chaos(), pl.l.CurCPU(), fair); t != nil {
+			return t
+		}
 		m.mu.Lock()
-		if pl.die || m.dying {
-			pl.die = true
+		if pl.die.Load() || m.dying.Load() {
+			pl.die.Store(true)
 			m.mu.Unlock()
 			return nil
 		}
-		if t := m.runq.pop(m.kern.Chaos()); t != nil {
-			m.mu.Unlock()
-			return t
-		}
 		m.idle = append(m.idle, pl)
 		m.nparked++
+		// Re-check after registering idle: a pusher publishes its
+		// thread before consulting the idle list (both under mu),
+		// so either it saw us here and will unpark, or this load
+		// sees its push and we retry instead of parking.
+		if m.disp.len() > 0 {
+			m.idle = m.idle[:len(m.idle)-1]
+			m.nparked--
+			m.mu.Unlock()
+			continue
+		}
 		m.mu.Unlock()
 		// Arm the idle age-out timer: an LWP that finds no work for
 		// LWPAgeTime is retired (ageOut re-checks eligibility under
@@ -390,14 +425,14 @@ func (m *Runtime) ageOut(pl *poolLWP) {
 			break
 		}
 	}
-	if !idle || pl.die || m.dying || m.concurrency != 0 || len(m.pool)-m.retiring <= 1 {
+	if !idle || pl.die.Load() || m.dying.Load() || m.concurrency != 0 || len(m.pool)-m.retiring <= 1 {
 		if idle {
 			m.idle = append(m.idle, pl) // not eligible after all
 		}
 		m.mu.Unlock()
 		return
 	}
-	pl.die = true
+	pl.die.Store(true)
 	pl.counted = true
 	m.retiring++
 	m.agedOut++
@@ -418,7 +453,7 @@ func (m *Runtime) AgedOut() int {
 // by the thread itself at its park point, (d) loop.
 func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
 	m.mu.Lock()
-	if t.killed || m.dying {
+	if t.killed || m.dying.Load() {
 		m.mu.Unlock()
 		t.grant() // let the goroutine (if any) unwind
 		return
@@ -476,8 +511,8 @@ func (m *Runtime) SetConcurrency(n int) error {
 				if shrink == 0 {
 					break
 				}
-				if !pl.die {
-					pl.die = true
+				if !pl.die.Load() {
+					pl.die.Store(true)
 					pl.counted = true
 					m.retiring++
 					shrink--
@@ -489,8 +524,8 @@ func (m *Runtime) SetConcurrency(n int) error {
 				if shrink == 0 {
 					break
 				}
-				if !pl.die {
-					pl.die = true
+				if !pl.die.Load() {
+					pl.die.Store(true)
 					pl.counted = true
 					m.retiring++
 					shrink--
@@ -521,7 +556,7 @@ func (m *Runtime) Concurrency() int {
 // required to avoid deadlock").
 func (m *Runtime) onSigwaiting() {
 	m.mu.Lock()
-	need := m.runq.len() > 0 && !m.dying &&
+	need := m.disp.len() > 0 && !m.dying.Load() &&
 		len(m.pool)-m.retiring < m.cfg.MaxAutoLWPs &&
 		m.concurrency == 0
 	m.mu.Unlock()
@@ -541,9 +576,8 @@ func (m *Runtime) PoolSize() int {
 	return len(m.pool)
 }
 
-// RunnableThreads reports the length of the user-level run queue.
+// RunnableThreads reports the length of the user-level run queue
+// (lock-free: the dispatcher keeps a global count).
 func (m *Runtime) RunnableThreads() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.runq.len()
+	return m.disp.len()
 }

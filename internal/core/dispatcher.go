@@ -1,0 +1,396 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunosmt/internal/chaos"
+)
+
+// dispatcher is the sharded ready queue of unbound runnable threads:
+// one priority runQueue per simulated CPU, each under its own lock, so
+// ready-queue traffic no longer serializes on Runtime.mu. A pool LWP
+// pops from the shard of the CPU it is running on (cache-affine, and
+// usually the same shard its threads were queued to), and steals from
+// a sibling shard when the sibling advertises strictly higher-priority
+// work or its own shard is empty — the same affinity-first,
+// priority-steal policy the kernel dispatcher applies to LWPs.
+//
+// Locking: each shard's queue (including the intrusive rq fields of
+// the threads linked on it) is guarded by that shard's mutex. Shard
+// locks are leaves — the dispatcher never takes Runtime.mu, while
+// Runtime.mu holders may take a shard lock (push from enqueue,
+// remove from thread_stop). The advertised per-shard top level and the
+// global count are atomics, so steal decisions and emptiness checks
+// read no locks at all.
+//
+// Lost wakeups are prevented by ordering, not by a shared lock: a
+// pusher publishes the thread (shard-linked, total incremented) before
+// consulting the idle-LWP list under Runtime.mu, and a parking LWP
+// registers itself idle under Runtime.mu before re-checking the total;
+// whichever side acts second observes the other.
+type dispatcher struct {
+	shards []dispShard
+	total  atomic.Int64  // queued threads across all shards
+	rr     atomic.Uint32 // round-robin placement for unplaced threads
+	seq    atomic.Uint64 // global push sequence, stamps Thread.rqSeq
+	// maxTop over-approximates the highest advertised level of any
+	// shard: raised by every push/requeue that could raise a shard's
+	// top, lowered only by a full scan in pop. A popper whose own top
+	// matches maxTop pops its own shard without scanning the siblings
+	// at all, so the hot path is O(1) in the shard count. maxTop may
+	// be stale in either direction for at most a scan period
+	// (scanEvery pops per popper), never longer: stale-high forces
+	// scans which lower it, stale-low is corrected by the next
+	// periodic scan or raised by the next push.
+	maxTop atomic.Int32
+}
+
+// stealAge bounds cross-shard unfairness among equal priorities: a
+// popper whose own shard has work at the same level steals a sibling's
+// head only once that head has been passed over by this many newer
+// pushes. Affinity wins while queues turn over at similar rates (no
+// cross-shard traffic in the steady state), but a shard no LWP is
+// affine to — fewer pool LWPs than CPUs — drains within stealAge
+// pushes plus a scan period instead of starving.
+const stealAge = 128
+
+// scanEvery makes every scanEvery-th pop by a given popper take the
+// full-scan path even when its own shard looks best, so aged steals
+// and a stale-low maxTop are noticed within a bounded number of pops.
+// Must be a power of two.
+const scanEvery = 32
+
+// dispShard is one per-CPU ready-queue shard.
+type dispShard struct {
+	mu sync.Mutex
+	q  runQueue
+	// top and topSeq advertise the shard's highest occupied level
+	// (-1 empty) and the push sequence of the head thread there, so
+	// poppers compare shards without taking their locks.
+	top    atomic.Int32
+	topSeq atomic.Uint64
+	// tick counts pops by poppers affine to this shard, to schedule
+	// their periodic full scans.
+	tick atomic.Uint32
+
+	// Counters; guarded by mu.
+	pushes uint64
+	pops   uint64
+	stolen uint64 // pops taken by a popper affine to another shard
+}
+
+// publish refreshes the shard's advertised top level and head
+// sequence. Caller holds s.mu.
+func (s *dispShard) publish() {
+	lvl := s.q.topLevel()
+	s.top.Store(int32(lvl))
+	if lvl >= 0 {
+		s.topSeq.Store(s.q.qs[lvl].head.rqSeq)
+	} else {
+		s.topSeq.Store(0)
+	}
+}
+
+func newDispatcher(n int) *dispatcher {
+	if n < 1 {
+		n = 1
+	}
+	d := &dispatcher{shards: make([]dispShard, n)}
+	d.maxTop.Store(-1)
+	for i := range d.shards {
+		d.shards[i].top.Store(-1)
+	}
+	return d
+}
+
+// raiseTop lifts the advertised global maximum to lvl if it is behind.
+func (d *dispatcher) raiseTop(lvl int32) {
+	for {
+		cur := d.maxTop.Load()
+		if lvl <= cur || d.maxTop.CompareAndSwap(cur, lvl) {
+			return
+		}
+	}
+}
+
+func (d *dispatcher) nshards() int { return len(d.shards) }
+
+// len reports the queued-thread count. Advisory outside the push/park
+// protocol: it may be stale by the time the caller acts on it.
+func (d *dispatcher) len() int { return int(d.total.Load()) }
+
+// push queues a runnable thread on its affinity shard (the shard it
+// last ran from), or round-robin when it has none yet.
+func (d *dispatcher) push(t *Thread) {
+	si := int(t.shard.Load())
+	if si < 0 || si >= len(d.shards) {
+		si = int(d.rr.Add(1)-1) % len(d.shards)
+	}
+	s := &d.shards[si]
+	s.mu.Lock()
+	t.shard.Store(int32(si))
+	t.rqSeq = d.seq.Add(1)
+	s.q.push(t)
+	s.pushes++
+	s.publish()
+	d.raiseTop(s.top.Load())
+	d.total.Add(1)
+	s.mu.Unlock()
+}
+
+// pop removes the best visible thread for a popper affine to shard
+// hint: its own shard's top, unless a sibling advertises strictly
+// higher-priority work, its own shard is empty, or an equal-priority
+// sibling head has gone unserved past stealAge — in those cases it
+// steals. Per-shard queues thus preserve the shared queue's global
+// priority order, with FIFO-among-equals exact per shard and bounded
+// (by stealAge pushes) across shards. With fair set, affinity is
+// ignored and the globally oldest thread at the best priority wins —
+// the exact order of the old shared queue, used after a thr_yield so
+// the yielder cannot outrun earlier-queued equals on other shards.
+// Returns nil only when every shard came up empty.
+//
+// The hot path is O(1) in the shard count: when the popper's own top
+// matches the advertised global maximum it pops its own shard without
+// reading any sibling. The full sibling scan runs only when a sibling
+// may hold better work (maxTop above own), the own shard is empty, the
+// pop is fair, or the popper's periodic scanEvery tick comes up (which
+// bounds how long an aged foreign equal can go unnoticed).
+func (d *dispatcher) pop(src *chaos.Source, hint int, fair bool) *Thread {
+	if d.total.Load() == 0 {
+		return nil
+	}
+	n := len(d.shards)
+	if hint < 0 || hint >= n {
+		hint = 0
+	}
+	own := &d.shards[hint]
+	if ownLvl := int(own.top.Load()); !fair && ownLvl >= 0 &&
+		int(d.maxTop.Load()) <= ownLvl && own.tick.Add(1)%scanEvery != 0 {
+		if t := d.popShard(hint, src, hint); t != nil {
+			return t
+		}
+	}
+	ownLvl := int(own.top.Load())
+	ownSeq := own.topSeq.Load()
+	observedMax := d.maxTop.Load()
+	victim, vLvl, vSeq := -1, -1, uint64(0)
+	for i := 0; i < n; i++ {
+		if i == hint {
+			continue
+		}
+		lvl := int(d.shards[i].top.Load())
+		if lvl < 0 {
+			continue
+		}
+		seq := d.shards[i].topSeq.Load()
+		if lvl > vLvl || (lvl == vLvl && seq < vSeq) {
+			victim, vLvl, vSeq = i, lvl, seq
+		}
+	}
+	// Lower a stale-high maxTop so later pops regain the fast path. The
+	// CAS fails if a concurrent push raised it meanwhile — never clobber
+	// a raise with scan results that predate it.
+	trueMax := ownLvl
+	if vLvl > trueMax {
+		trueMax = vLvl
+	}
+	if int32(trueMax) < observedMax {
+		d.maxTop.CompareAndSwap(observedMax, int32(trueMax))
+	}
+	first := hint
+	if victim >= 0 {
+		switch {
+		case vLvl > ownLvl:
+			first = victim // strictly better work: priority steal
+		case vLvl == ownLvl && vSeq+stealAge < ownSeq:
+			first = victim // equal work passed over too long: aged steal
+		case fair && vLvl == ownLvl && vSeq < ownSeq:
+			first = victim // yield handoff: oldest equal anywhere wins
+		}
+	}
+	if ownLvl < 0 && victim < 0 {
+		return nil
+	}
+	if t := d.popShard(first, src, hint); t != nil {
+		return t
+	}
+	// The chosen shard was drained between the advertised read and
+	// the lock; sweep the rest round-robin from our own.
+	for i := 0; i < n; i++ {
+		si := (hint + i) % n
+		if si == first || d.shards[si].top.Load() < 0 {
+			continue
+		}
+		if t := d.popShard(si, src, hint); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// popShard pops shard si's best thread for a popper affine to hint.
+func (d *dispatcher) popShard(si int, src *chaos.Source, hint int) *Thread {
+	s := &d.shards[si]
+	s.mu.Lock()
+	t := s.q.pop(src)
+	if t != nil {
+		s.pops++
+		if si != hint {
+			s.stolen++
+		}
+		s.publish()
+		d.total.Add(-1)
+		// Affinity follows the popper: the thread is about to run
+		// on hint's CPU, so its next wakeup queues there.
+		t.shard.Store(int32(hint))
+	}
+	s.mu.Unlock()
+	return t
+}
+
+// remove takes t off its shard if queued (thread_stop, timed-wait
+// cancel, teardown). The shard index is re-read under the shard lock:
+// a concurrent pop-and-repush can move t between the load and the
+// lock, in which case the removal retries against the new shard.
+func (d *dispatcher) remove(t *Thread) bool {
+	for {
+		si := int(t.shard.Load())
+		if si < 0 || si >= len(d.shards) {
+			return false
+		}
+		s := &d.shards[si]
+		s.mu.Lock()
+		if int(t.shard.Load()) != si {
+			s.mu.Unlock()
+			continue
+		}
+		if !t.rqOn {
+			s.mu.Unlock()
+			return false
+		}
+		s.q.unlink(t)
+		s.publish()
+		d.total.Add(-1)
+		s.mu.Unlock()
+		return true
+	}
+}
+
+// requeue re-levels t on its shard after an effective-priority change
+// (thread_priority, turnstile inheritance), so a queued thread moves
+// to its new level immediately rather than at some later pop. No-op
+// when t is not queued.
+func (d *dispatcher) requeue(t *Thread) {
+	for {
+		si := int(t.shard.Load())
+		if si < 0 || si >= len(d.shards) {
+			return
+		}
+		s := &d.shards[si]
+		s.mu.Lock()
+		if int(t.shard.Load()) != si {
+			s.mu.Unlock()
+			continue
+		}
+		if t.rqOn {
+			s.q.unlink(t)
+			s.q.push(t)
+			s.publish()
+			d.raiseTop(s.top.Load())
+		}
+		s.mu.Unlock()
+		return
+	}
+}
+
+// clear empties every shard (process teardown). The threads' intrusive
+// links are reset by runQueue.clear; their states are owned by the
+// dying sweep.
+func (d *dispatcher) clear() {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		d.total.Add(int64(-s.q.n))
+		s.q.clear()
+		s.publish()
+		s.mu.Unlock()
+	}
+}
+
+// ShardStat is one ready-queue shard's row of DispatchStats: its
+// instantaneous depth plus monotonic push/pop/steal counters.
+type ShardStat struct {
+	Shard  int
+	Depth  int
+	Pushes uint64
+	Pops   uint64
+	// Stolen counts pops taken from this shard by an LWP affine to a
+	// different shard — the work-stealing rate seen from the victim.
+	Stolen uint64
+}
+
+// DispatchStats reports the per-shard state of the user-level ready
+// queue for mtstat and /proc.
+func (m *Runtime) DispatchStats() []ShardStat {
+	out := make([]ShardStat, len(m.disp.shards))
+	for i := range m.disp.shards {
+		s := &m.disp.shards[i]
+		s.mu.Lock()
+		out[i] = ShardStat{
+			Shard:  i,
+			Depth:  s.q.n,
+			Pushes: s.pushes,
+			Pops:   s.pops,
+			Stolen: s.stolen,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DispatchBench measures the ready-queue layer in isolation: workers
+// goroutines pass tokens through a dispatcher with nshards shards,
+// each worker popping from its affine shard and re-pushing what it
+// popped, iters operations per worker. With nshards == 1 every worker
+// contends on a single queue lock — the pre-sharding configuration —
+// so the nshards == NCPU vs nshards == 1 ratio is the dispatch
+// throughput gain of sharding. Returns the wall-clock elapsed.
+//
+// GOMAXPROCS is raised to the worker count for the duration so the
+// workers actually contend (with true parallelism when the host has
+// the cores; via OS preemption of lock holders when it does not —
+// either way, the serialization the shards remove is allowed to
+// manifest) and restored before returning.
+func DispatchBench(nshards, workers, iters int) time.Duration {
+	d := newDispatcher(nshards)
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hint := w % d.nshards()
+			tok := &Thread{}
+			// One shared level: distinct levels would turn every pop
+			// into a priority steal from the max-level shard and
+			// measure that contention instead of the sharding.
+			tok.effPrio.Store(1)
+			tok.shard.Store(int32(hint))
+			d.push(tok)
+			for i := 0; i < iters; {
+				if t := d.pop(nil, hint, false); t != nil {
+					d.push(t)
+					i++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}

@@ -93,6 +93,160 @@ func TestDispatchOrder(t *testing.T) {
 	}
 }
 
+// qt builds a bare thread for dispatcher unit tests: priority prio,
+// affinity shard si (-1 for none).
+func qt(prio, si int) *Thread {
+	t := &Thread{}
+	t.effPrio.Store(int32(prio))
+	t.shard.Store(int32(si))
+	return t
+}
+
+// TestDispatcherShardPolicy pins the sharded ready queue's pop policy:
+// affinity-first among equals, priority steal when a sibling holds
+// strictly better work, steal of any work when the own shard is empty
+// — and the popped thread's affinity following the popper.
+func TestDispatcherShardPolicy(t *testing.T) {
+	cases := []struct {
+		name string
+		// threads pushed in order: {prio, shard}
+		push [][2]int
+		hint int
+		want int // index into push of the expected first pop
+	}{
+		{"own-shard-wins-ties", [][2]int{{1, 1}, {1, 0}}, 0, 1},
+		{"priority-steal", [][2]int{{1, 0}, {5, 1}}, 0, 1},
+		{"own-empty-steals", [][2]int{{1, 1}}, 0, 0},
+		{"steal-takes-highest-of-siblings", [][2]int{{3, 1}, {5, 2}, {4, 1}}, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := newDispatcher(3)
+			ths := make([]*Thread, len(tc.push))
+			for i, ps := range tc.push {
+				ths[i] = qt(ps[0], ps[1])
+				d.push(ths[i])
+			}
+			got := d.pop(nil, tc.hint, false)
+			if got != ths[tc.want] {
+				t.Fatalf("pop = %+v, want thread %d", got, tc.want)
+			}
+			if int(got.shard.Load()) != tc.hint {
+				t.Errorf("popped thread's affinity = %d, want popper's shard %d",
+					got.shard.Load(), tc.hint)
+			}
+		})
+	}
+}
+
+// TestDispatcherAgedSteal: an equal-priority thread on a shard no LWP
+// is affine to must not starve — once its head has been passed over by
+// stealAge newer pushes, a popper with equal-priority work of its own
+// takes it anyway, at the latest on its next periodic scan.
+func TestDispatcherAgedSteal(t *testing.T) {
+	d := newDispatcher(2)
+	orphan := qt(1, 1) // lands on shard 1; no popper ever uses hint 1
+	d.push(orphan)
+	// A yield loop on shard 0: push self, pop — the orphan must be
+	// taken within stealAge pushes plus one scan period.
+	self := qt(1, 0)
+	d.push(self)
+	for i := 0; i < stealAge+scanEvery+2; i++ {
+		got := d.pop(nil, 0, false)
+		if got == orphan {
+			if i < 2 {
+				t.Fatalf("orphan stolen immediately (i=%d); affinity should win first", i)
+			}
+			return
+		}
+		d.push(got)
+	}
+	t.Fatalf("orphan starved beyond stealAge+scanEvery=%d pops", stealAge+scanEvery)
+}
+
+// TestDispatcherFairPop: the yield handoff (fair pop) restores the
+// shared queue's global FIFO-among-equals — the oldest queued equal
+// wins regardless of shard, so a yielder re-queued behind it cannot
+// outrun it.
+func TestDispatcherFairPop(t *testing.T) {
+	d := newDispatcher(2)
+	older := qt(1, 1)
+	d.push(older)
+	yielder := qt(1, 0)
+	d.push(yielder)
+	if got := d.pop(nil, 0, true); got != older {
+		t.Fatalf("fair pop = %+v, want the older thread on the foreign shard", got)
+	}
+	if got := d.pop(nil, 0, true); got != yielder {
+		t.Fatalf("second fair pop = %+v, want the yielder", got)
+	}
+	// Priority still dominates fairness.
+	lo := qt(1, 0)
+	hi := qt(5, 1)
+	d.push(hi) // older AND higher
+	d.push(lo)
+	if got := d.pop(nil, 0, true); got != hi {
+		t.Fatalf("fair pop with mixed levels = %+v, want the high-priority thread", got)
+	}
+	d.clear()
+}
+
+// TestDispatcherRequeueAcrossShards: SetPriority's requeue must take
+// effect on whichever shard the thread is queued on — a boost on a
+// foreign shard becomes visible to other poppers as stealable work at
+// the new level.
+func TestDispatcherRequeueAcrossShards(t *testing.T) {
+	d := newDispatcher(2)
+	own := qt(3, 0)
+	far := qt(1, 1)
+	d.push(own)
+	d.push(far)
+	// At prio 1 the foreign thread would lose to own prio 3...
+	far.effPrio.Store(5)
+	d.requeue(far)
+	// ...but after the requeue it outranks it from shard 1.
+	if got := d.pop(nil, 0, false); got != far {
+		t.Fatalf("pop after cross-shard requeue = %+v, want the boosted thread", got)
+	}
+	if got := d.pop(nil, 0, false); got != own {
+		t.Fatalf("second pop = %+v, want the original thread", got)
+	}
+	// remove is exact-once across shards too.
+	gone := qt(2, 1)
+	d.push(gone)
+	if !d.remove(gone) {
+		t.Fatal("remove of a queued thread = false")
+	}
+	if d.remove(gone) {
+		t.Fatal("second remove = true, want false")
+	}
+	if d.len() != 0 {
+		t.Fatalf("dispatcher not empty: %d", d.len())
+	}
+}
+
+// TestDispatchStatsCountsSteals: the per-shard counters feed /proc and
+// mtstat; a cross-shard pop must show up as the victim shard's stolen.
+func TestDispatchStatsCountsSteals(t *testing.T) {
+	d := newDispatcher(2)
+	d.push(qt(1, 1))
+	if got := d.pop(nil, 0, false); got == nil {
+		t.Fatal("pop returned nil")
+	}
+	var m Runtime
+	m.disp = d
+	st := m.DispatchStats()
+	if len(st) != 2 {
+		t.Fatalf("got %d shard rows, want 2", len(st))
+	}
+	if st[1].Pops != 1 || st[1].Stolen != 1 {
+		t.Errorf("victim shard stats = %+v, want pops=1 stolen=1", st[1])
+	}
+	if st[0].Stolen != 0 {
+		t.Errorf("thief shard shows stolen=%d, want 0", st[0].Stolen)
+	}
+}
+
 // TestStopRemovesQueuedThreadOnce: thread_stop on a queued runnable
 // thread dequeues it exactly once — the body never runs before
 // Continue, runs exactly once after, and a second Stop of the already

@@ -187,20 +187,25 @@ type PrioCount struct {
 	Count int
 }
 
-// RunqStats reports the run-queue depth and the per-priority
-// occupancy (ascending priority), for mtstat and /proc. Counts are by
-// actual effective thread priority — what the dispatcher orders by —
-// not queue level, so clamped priorities above the level cap report
-// distinctly.
+// RunqStats reports the total run-queue depth (across every
+// dispatcher shard) and the per-priority occupancy (ascending
+// priority), for mtstat and /proc. Counts are by actual effective
+// thread priority — what the dispatcher orders by — not queue level,
+// so clamped priorities above the level cap report distinctly. See
+// DispatchStats for the per-shard view.
 func (m *Runtime) RunqStats() (int, []PrioCount) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	depth := m.runq.n
+	depth := 0
 	counts := make(map[int]int)
-	for lvl := 0; lvl < NumPrioLevels; lvl++ {
-		for t := m.runq.qs[lvl].head; t != nil; t = t.rqNext {
-			counts[int(t.effPrio.Load())]++
+	for i := range m.disp.shards {
+		s := &m.disp.shards[i]
+		s.mu.Lock()
+		depth += s.q.n
+		for lvl := 0; lvl < NumPrioLevels; lvl++ {
+			for t := s.q.qs[lvl].head; t != nil; t = t.rqNext {
+				counts[int(t.effPrio.Load())]++
+			}
 		}
+		s.mu.Unlock()
 	}
 	prios := make([]int, 0, len(counts))
 	for p := range counts {
@@ -332,7 +337,7 @@ func (caller *Thread) Stop(target *Thread) error {
 		m.mu.Unlock()
 		return nil
 	case ThreadRunnable:
-		if m.runq.remove(target) {
+		if m.disp.remove(target) {
 			target.state = ThreadStopped
 			target.msSwitchLocked(m.kern.Clock().Now(), MSStopped)
 			m.mu.Unlock()

@@ -85,6 +85,7 @@ var (
 	ErrDoubleWait = errors.New("core: another thread is already waiting")
 	ErrBadPrio    = errors.New("core: priority must be >= 0")
 	ErrExiting    = errors.New("core: process is exiting")
+	ErrNotBound   = errors.New("core: thread is not bound to an LWP")
 )
 
 // CreateOpts carries the optional thread_create parameters.
@@ -117,10 +118,19 @@ type Thread struct {
 	gate chan struct{} // run grant; buffered(1)
 
 	// Intrusive run-queue node (Solaris: t_link on the disp_q). All
-	// four fields are guarded by m.mu, like the run queue itself.
+	// four fields are guarded by the lock of the dispatcher shard
+	// the thread is (or was last) queued on.
 	rqNext, rqPrev *Thread
 	rqLevel        int
 	rqOn           bool
+	rqSeq          uint64 // global push sequence; cross-shard FIFO tiebreak
+
+	// shard is the dispatcher shard the thread queues on: the shard
+	// it is queued on now, or the one it last ran from (wakeups
+	// queue it back there, cache-affine). -1 before the first
+	// enqueue. Atomic: remove/requeue read it lock-free and confirm
+	// under the shard lock.
+	shard atomic.Int32
 
 	// Intrusive sleep-queue node. sqNext/sqPrev are guarded by the
 	// shard lock of the channel the thread is queued on; sqBkt
@@ -202,6 +212,12 @@ func (t *Thread) State() ThreadState {
 // Bound reports whether the thread is permanently bound to an LWP.
 func (t *Thread) Bound() bool { return t.bndLWP != nil }
 
+// BoundLWP returns the LWP a bound thread is permanently attached to,
+// or nil for an unbound thread. Kernel scheduling controls that
+// outlive a single dispatch — priocntl, pset_bind, processor_bind —
+// only make sense against this LWP.
+func (t *Thread) BoundLWP() *sim.LWP { return t.bndLWP }
+
 func (t *Thread) bound() bool { return t.bndLWP != nil }
 
 // LWP returns the LWP currently executing the thread. For bound
@@ -231,7 +247,7 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		return nil, fmt.Errorf("core: nil thread function")
 	}
 	m.mu.Lock()
-	if m.dying {
+	if m.dying.Load() {
 		m.mu.Unlock()
 		return nil, ErrExiting
 	}
@@ -252,6 +268,7 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		t.prio = opts.Priority
 	}
 	t.effPrio.Store(int32(t.prio))
+	t.shard.Store(-1) // first enqueue places round-robin
 	// Stack: caller-supplied, else from the library's cache. TLS
 	// is placed in the stack allocation so the library does not
 	// interfere with the application's memory allocator.
@@ -335,13 +352,13 @@ func (m *Runtime) stackFromCacheLocked(size int) []byte {
 // enqueue makes an unbound thread runnable and finds it an LWP.
 func (m *Runtime) enqueue(t *Thread) {
 	m.mu.Lock()
-	if t.state == ThreadZombie || m.dying {
+	if t.state == ThreadZombie || m.dying.Load() {
 		m.mu.Unlock()
 		return
 	}
 	t.state = ThreadRunnable
 	t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
-	m.runq.push(t)
+	m.disp.push(t)
 	// Wake an idle LWP if there is one; otherwise ask a
 	// lower-priority running thread to yield.
 	var wake *poolLWP
@@ -493,7 +510,7 @@ func (t *Thread) currentPL() *poolLWP {
 
 func (t *Thread) checkKilled() bool {
 	t.m.mu.Lock()
-	killed := t.killed || t.m.dying
+	killed := t.killed || t.m.dying.Load()
 	t.m.mu.Unlock()
 	if killed {
 		t.m.threadGone(t)
@@ -587,7 +604,7 @@ func (t *Thread) stopIfRequested(prev ThreadState) {
 // sweep rather than a dispatcher.
 func (t *Thread) checkKilledPanic() bool {
 	t.m.mu.Lock()
-	killed := t.killed || t.m.dying
+	killed := t.killed || t.m.dying.Load()
 	t.m.mu.Unlock()
 	if killed {
 		panic(&sim.Unwind{Proc: t.m.proc, Reason: "process dying"})
@@ -676,12 +693,12 @@ func (m *Runtime) unparkBatch(ts []*Thread) {
 		}
 		switch t.state {
 		case ThreadSleeping, ThreadWaiting:
-			if m.dying {
+			if m.dying.Load() {
 				continue // the sweep owns these threads now
 			}
 			t.state = ThreadRunnable
 			t.msSwitchLocked(now, MSRunq)
-			m.runq.push(t)
+			m.disp.push(t)
 			woken++
 			if p := int(t.effPrio.Load()); p > maxPrio {
 				maxPrio = p
@@ -722,11 +739,11 @@ func (t *Thread) Yield() {
 		return
 	}
 	m.mu.Lock()
-	hasWork := m.runq.len() > 0
+	hasWork := m.disp.len() > 0
 	if hasWork {
 		t.state = ThreadRunnable
 		t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
-		m.runq.push(t)
+		m.disp.push(t)
 		pl := t.lwp
 		t.lwp = nil
 		if pl != nil && pl.cur == t {
@@ -734,6 +751,7 @@ func (t *Thread) Yield() {
 		}
 		m.mu.Unlock()
 		t.onCPU.Store(false)
+		pl.fair = true // next pop: oldest equal on any shard, not affinity
 		yieldLWP(pl)
 		<-t.gate
 		t.checkKilledPanic()
@@ -768,14 +786,15 @@ func (t *Thread) Checkpoint() {
 	}
 	if preempt && !t.bound() {
 		m.mu.Lock()
-		if m.runq.len() > 0 {
+		if m.disp.len() > 0 {
 			t.state = ThreadRunnable
 			t.msSwitchLocked(m.kern.Clock().Now(), MSRunq)
-			m.runq.push(t)
+			m.disp.push(t)
 			pl := t.lwp
 			t.lwp = nil
 			m.mu.Unlock()
 			t.onCPU.Store(false)
+			pl.fair = true
 			yieldLWP(pl)
 			<-t.gate
 			t.checkKilledPanic()
@@ -830,7 +849,7 @@ func (t *Thread) retire() {
 		// (paper, Figure 5 setup).
 		m.stackCache = append(m.stackCache, t.stack)
 	}
-	last := m.nlive-m.ndaemon == 0 && !m.dying
+	last := m.nlive-m.ndaemon == 0 && !m.dying.Load()
 	m.mu.Unlock()
 	t.onCPU.Store(false)
 	close(t.exitCh)
@@ -932,9 +951,7 @@ func (m *Runtime) threadGone(t *Thread) {
 	t.msFinalLocked(m.kern.Clock().Now())
 	m.dropTurnstilesLocked(t)
 	t.lwp = nil
-	if t.rqOn {
-		m.runq.remove(t)
-	}
+	m.disp.remove(t)
 	delete(m.threads, t.id)
 	m.nlive--
 	if t.flags&ThreadDaemon != 0 {

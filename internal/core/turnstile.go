@@ -196,10 +196,7 @@ func (m *Runtime) setEffLocked(t *Thread, p int) bool {
 		return false
 	}
 	t.effPrio.Store(int32(p))
-	if t.rqOn {
-		m.runq.unlink(t)
-		m.runq.push(t)
-	}
+	m.disp.requeue(t)
 	if t.state == ThreadRunnable {
 		m.flagPreemptionLocked(p)
 	}

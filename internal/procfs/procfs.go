@@ -8,8 +8,13 @@
 //
 // Layout (all nodes are synthetic, generated at open time):
 //
+//	/proc/sched               per-CPU dispatcher queues: processor
+//	                          set, queue depth, dispatch/steal/
+//	                          migration counters, balancer moves
 //	/proc/<pid>/status        process summary
 //	/proc/<pid>/lwps          one line per LWP
+//	/proc/<pid>/psinfo        scheduling placement per LWP: class,
+//	                          priority, processor set, CPU binding
 //	/proc/<pid>/threads       one line per library thread (via the
 //	                          registered lister; absent without one)
 //	/proc/<pid>/lstatus       lock wait-for edges of the process's
@@ -63,11 +68,13 @@ func (pfs *ProcFS) RegisterRuntime(rt *core.Runtime) {
 // Refresh rebuilds the /proc tree to match the current process table.
 func (pfs *ProcFS) Refresh() error {
 	root := vfs.NewDir()
+	pfs.attach(root, "sched", func() []byte { return pfs.schedStatus() })
 	for _, p := range pfs.kern.Processes() {
 		p := p
 		dir := vfs.NewDir()
 		pfs.attach(dir, "status", func() []byte { return pfs.procStatus(p) })
 		pfs.attach(dir, "lwps", func() []byte { return pfs.lwpStatus(p) })
+		pfs.attach(dir, "psinfo", func() []byte { return pfs.psinfo(p) })
 		pfs.mu.Lock()
 		rt := pfs.listers[p.PID()]
 		pfs.mu.Unlock()
@@ -127,6 +134,44 @@ func (pfs *ProcFS) lwpStatus(p *sim.Process) []byte {
 			wchan = "-"
 		}
 		fmt.Fprintf(&sb, "%-6d %-10v %-6v %-10v %-10v %s\n", l.ID(), l.State(), l.Class(), u, s, wchan)
+	}
+	return []byte(sb.String())
+}
+
+// schedStatus renders the machine-wide dispatcher view: one row per
+// CPU with its processor set, instantaneous queue depth (and how many
+// of those are hard-bound, hence unstealable), and the monotonic
+// dispatch/steal/migration counters, followed by the processor sets
+// and the balancer's move count.
+func (pfs *ProcFS) schedStatus() []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-5s %-6s %-6s %-10s %-8s %s\n",
+		"CPU", "PSET", "RUNQ", "BOUND", "DISPATCH", "STEAL", "MIGRATE")
+	for _, cs := range pfs.kern.SchedStats() {
+		fmt.Fprintf(&sb, "%-4d %-5d %-6d %-6d %-10d %-8d %d\n",
+			cs.CPU, cs.Pset, cs.RunqDepth, cs.RunqBound, cs.Dispatches, cs.Steals, cs.Migrations)
+	}
+	for _, ps := range pfs.kern.Psets() {
+		fmt.Fprintf(&sb, "pset %d: cpus %v bound-lwps %d\n", ps.ID, ps.CPUs, ps.BoundLWPs)
+	}
+	fmt.Fprintf(&sb, "balance-moves: %d\n", pfs.kern.BalanceMoves())
+	return []byte(sb.String())
+}
+
+// psinfo renders the scheduling placement of each LWP: class, user
+// priority, the processor set it is confined to, and the CPU it is
+// hard-bound to (- when unbound) — the psrset/pbind view.
+func (pfs *ProcFS) psinfo(p *sim.Process) []byte {
+	lwps := p.LWPs()
+	sort.Slice(lwps, func(i, j int) bool { return lwps[i].ID() < lwps[j].ID() })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-6s %-6s %-6s %s\n", "LWPID", "CLASS", "PRIO", "PSET", "BOUND-CPU")
+	for _, l := range lwps {
+		bound := "-"
+		if c := l.BoundCPU(); c >= 0 {
+			bound = fmt.Sprintf("%d", c)
+		}
+		fmt.Fprintf(&sb, "%-6d %-6v %-6d %-6d %s\n", l.ID(), l.Class(), l.Priority(), l.Pset(), bound)
 	}
 	return []byte(sb.String())
 }
@@ -198,6 +243,13 @@ func (pfs *ProcFS) threadStatus(rt *core.Runtime) []byte {
 		fmt.Fprintf(&sb, " prio%d:%d", pc.Prio, pc.Count)
 	}
 	sb.WriteByte('\n')
+	// The ready queue is sharded per CPU; the depth above is the sum.
+	// One line per shard with its steal counter (pops taken by an LWP
+	// affine to another shard).
+	for _, ss := range rt.DispatchStats() {
+		fmt.Fprintf(&sb, "runq-shard%d: depth %d  pushes %d  pops %d  stolen %d\n",
+			ss.Shard, ss.Depth, ss.Pushes, ss.Pops, ss.Stolen)
+	}
 	return []byte(sb.String())
 }
 

@@ -109,6 +109,25 @@ func TestProcStatusAndThreads(t *testing.T) {
 		if !strings.Contains(threads, "runq-depth:") || !strings.Contains(threads, "occupancy:") {
 			t.Errorf("threads footer missing run-queue stats:\n%s", threads)
 		}
+		// The runnable total must be the sum over per-CPU shards, and
+		// each shard reports its own depth and steal counter.
+		if !strings.Contains(threads, "runq-shard0:") || !strings.Contains(threads, "runq-shard1:") {
+			t.Errorf("threads footer missing per-shard run-queue lines:\n%s", threads)
+		}
+		if !strings.Contains(threads, "stolen") {
+			t.Errorf("threads footer missing steal counters:\n%s", threads)
+		}
+		psinfo := readAll(t, k, opf, l, "/proc/"+itoa(int(pid))+"/psinfo")
+		if !strings.Contains(psinfo, "PSET") || !strings.Contains(psinfo, "BOUND-CPU") {
+			t.Errorf("psinfo missing placement columns:\n%s", psinfo)
+		}
+		sched := readAll(t, k, opf, l, "/proc/sched")
+		if !strings.Contains(sched, "STEAL") || !strings.Contains(sched, "balance-moves:") {
+			t.Errorf("sched missing dispatcher columns:\n%s", sched)
+		}
+		if strings.Count(sched, "\n") < 3 { // header + 2 CPUs
+			t.Errorf("sched missing per-CPU rows:\n%s", sched)
+		}
 		usage := readAll(t, k, opf, l, "/proc/"+itoa(int(pid))+"/usage")
 		if !strings.Contains(usage, "oncpu:") || !strings.Contains(usage, "total:") {
 			t.Errorf("usage missing process totals:\n%s", usage)
@@ -130,6 +149,70 @@ func TestProcStatusAndThreads(t *testing.T) {
 	case <-rt.Exited():
 	case <-time.After(10 * time.Second):
 		t.Fatal("target did not exit")
+	}
+}
+
+// TestPsinfoReflectsBinding checks that psrset/pbind state — an LWP's
+// class, processor set, and hard CPU binding — shows up in its
+// process's psinfo node and in the machine-wide sched node.
+func TestPsinfoReflectsBinding(t *testing.T) {
+	k := sim.NewKernel(sim.Config{NCPU: 2})
+	fs := vfs.NewFS(k)
+	pfs, err := Mount(k, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := k.NewProcess("bound", nil)
+	bl, err := k.NewLWP(target, sim.ClassRT, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := k.PsetCreate()
+	if err := k.PsetAssign(ps, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PsetBind(bl, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.BindCPU(bl, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pfs.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	obs := k.NewProcess("mdb", nil)
+	opf := vfs.NewProcFiles(fs, obs)
+	l, _ := k.NewLWP(obs, sim.ClassTS, 30)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover(); k.ExitLWP(l) }()
+		k.Start(l)
+		psinfo := readAll(t, k, opf, l, "/proc/"+itoa(int(target.PID()))+"/psinfo")
+		row := ""
+		for _, line := range strings.Split(psinfo, "\n") {
+			if strings.HasPrefix(line, itoa(int(bl.ID()))+" ") {
+				row = line
+			}
+		}
+		if row == "" {
+			t.Errorf("psinfo has no row for lwp %d:\n%s", bl.ID(), psinfo)
+		}
+		for _, want := range []string{"RT", itoa(int(ps)), "1"} {
+			if !strings.Contains(row, want) {
+				t.Errorf("psinfo row %q missing %q", row, want)
+			}
+		}
+		sched := readAll(t, k, opf, l, "/proc/sched")
+		if !strings.Contains(sched, "pset "+itoa(int(ps))+": cpus [1] bound-lwps 1") {
+			t.Errorf("sched missing pset membership:\n%s", sched)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("observer timed out")
 	}
 }
 

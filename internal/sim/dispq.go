@@ -1,0 +1,206 @@
+package sim
+
+import "math/bits"
+
+// This file holds the per-CPU dispatch queues. Dispatch used to pop
+// from one shared runnable list under the kernel lock; it now mirrors
+// the Solaris dispatcher structure proper: every CPU owns a fixed
+// array of per-priority FIFO queues (disp_q) indexed by an
+// active-priority bitmap (dqactmap), and placement/steal policy moves
+// LWPs between CPUs instead of a global scan choosing per pick.
+//
+// All fields are guarded by Kernel.mu (the simulated giant lock); the
+// sharding buys O(1) picks, cache-warm affinity placement and an
+// explicit steal/balance policy rather than lock-level parallelism,
+// which the animation model cannot express.
+
+// NumGlobalPrio is the number of global dispatch priority levels
+// (TS 0-59, SYS 60-99, RT 100-159). Queue levels are exact global
+// priorities, so bitmap order is dispatch order.
+const NumGlobalPrio = rtMaxGlobal + 1
+
+// lwpQ is one per-priority FIFO ring: head is dispatched first.
+type lwpQ struct {
+	head, tail *LWP
+}
+
+// lwpRunq is one CPU's dispatch queue: a FIFO ring per global
+// priority plus an occupancy bitmap, so push, pop, remove and top are
+// O(1). LWPs link intrusively through rqNext/rqPrev. The queue also
+// counts its CPU-bound entries: those are invisible to work stealing.
+type lwpRunq struct {
+	qs     [NumGlobalPrio]lwpQ
+	bitmap [(NumGlobalPrio + 63) / 64]uint64
+	n      int
+	nbound int // queued LWPs bound to this CPU; never stolen
+}
+
+// globalLevel clamps a global priority onto a queue level.
+func globalLevel(prio int) int {
+	if prio < 0 {
+		return 0
+	}
+	if prio >= NumGlobalPrio {
+		return NumGlobalPrio - 1
+	}
+	return prio
+}
+
+// push appends l at level lvl (FIFO among equals).
+func (r *lwpRunq) push(l *LWP, lvl int) {
+	l.rqLevel = lvl
+	l.rqOn = true
+	l.rqNext = nil
+	q := &r.qs[lvl]
+	if q.tail == nil {
+		l.rqPrev = nil
+		q.head, q.tail = l, l
+		r.bitmap[lvl>>6] |= 1 << (lvl & 63)
+	} else {
+		l.rqPrev = q.tail
+		q.tail.rqNext = l
+		q.tail = l
+	}
+	r.n++
+	if l.boundCPU != nil {
+		r.nbound++
+	}
+}
+
+// unlink detaches a queued LWP in O(1).
+func (r *lwpRunq) unlink(l *LWP) {
+	q := &r.qs[l.rqLevel]
+	if l.rqPrev != nil {
+		l.rqPrev.rqNext = l.rqNext
+	} else {
+		q.head = l.rqNext
+	}
+	if l.rqNext != nil {
+		l.rqNext.rqPrev = l.rqPrev
+	} else {
+		q.tail = l.rqPrev
+	}
+	if q.head == nil {
+		r.bitmap[l.rqLevel>>6] &^= 1 << (l.rqLevel & 63)
+	}
+	l.rqNext, l.rqPrev = nil, nil
+	l.rqOn = false
+	r.n--
+	if l.boundCPU != nil {
+		r.nbound--
+	}
+}
+
+// top returns the highest occupied level, or -1 when empty.
+func (r *lwpRunq) top() int {
+	for w := len(r.bitmap) - 1; w >= 0; w-- {
+		if word := r.bitmap[w]; word != 0 {
+			return w<<6 + bits.Len64(word) - 1
+		}
+	}
+	return -1
+}
+
+// stealableN reports how many queued LWPs another CPU may take.
+func (r *lwpRunq) stealableN() int { return r.n - r.nbound }
+
+// topStealable returns the highest level holding an unbound LWP, or
+// -1. With no bound entries queued (the common case) this is a bitmap
+// read; otherwise active levels are walked for the first unbound LWP.
+func (r *lwpRunq) topStealable() int {
+	if r.n == r.nbound {
+		return -1
+	}
+	if r.nbound == 0 {
+		return r.top()
+	}
+	for lvl := r.top(); lvl >= 0; lvl = r.nextBelow(lvl) {
+		for l := r.qs[lvl].head; l != nil; l = l.rqNext {
+			if l.boundCPU == nil {
+				return lvl
+			}
+		}
+	}
+	return -1
+}
+
+// nextBelow returns the highest occupied level strictly below lvl.
+func (r *lwpRunq) nextBelow(lvl int) int {
+	if lvl <= 0 {
+		return -1
+	}
+	w := (lvl - 1) >> 6
+	if word := r.bitmap[w] & (^uint64(0) >> (63 - uint((lvl-1)&63))); word != 0 {
+		return w<<6 + bits.Len64(word) - 1
+	}
+	for w--; w >= 0; w-- {
+		if word := r.bitmap[w]; word != 0 {
+			return w<<6 + bits.Len64(word) - 1
+		}
+	}
+	return -1
+}
+
+// head returns the FIFO head of the given level.
+func (r *lwpRunq) head(lvl int) *LWP {
+	if lvl < 0 {
+		return nil
+	}
+	return r.qs[lvl].head
+}
+
+// firstStealableAt returns the first unbound LWP at or below lvl.
+func (r *lwpRunq) firstStealableAt(lvl int) *LWP {
+	for ; lvl >= 0; lvl = r.nextBelow(lvl) {
+		for l := r.qs[lvl].head; l != nil; l = l.rqNext {
+			if l.boundCPU == nil {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// bottomStealable returns the lowest-priority, most-recently-queued
+// unbound LWP — the least disruptive entry for the balancer to move.
+func (r *lwpRunq) bottomStealable() *LWP {
+	if r.n == r.nbound {
+		return nil
+	}
+	for w := 0; w < len(r.bitmap); w++ {
+		word := r.bitmap[w]
+		for word != 0 {
+			lvl := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			for l := r.qs[lvl].tail; l != nil; l = l.rqPrev {
+				if l.boundCPU == nil {
+					return l
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nth returns the i'th queued LWP in priority-then-FIFO order — the
+// O(n) walk taken only when a chaos source reorders a pick.
+func (r *lwpRunq) nth(i int) *LWP {
+	for lvl := r.top(); lvl >= 0; lvl = r.nextBelow(lvl) {
+		for l := r.qs[lvl].head; l != nil; l = l.rqNext {
+			if i == 0 {
+				return l
+			}
+			i--
+		}
+	}
+	return nil
+}
+
+// forEach visits every queued LWP (gang scans, /proc, re-leveling).
+func (r *lwpRunq) forEach(fn func(*LWP)) {
+	for lvl := r.top(); lvl >= 0; lvl = r.nextBelow(lvl) {
+		for l := r.qs[lvl].head; l != nil; l = l.rqNext {
+			fn(l)
+		}
+	}
+}

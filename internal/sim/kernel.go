@@ -88,6 +88,15 @@ type Config struct {
 	// costs a multiple of user-level unbound synchronization, as in
 	// the paper's Figure 6.
 	KernelSwitchCost time.Duration
+	// BalancePeriod is how often the dispatcher's periodic balancer
+	// evens out per-CPU run-queue depths within each processor set
+	// (and re-levels queued timeshare LWPs whose decayed usage moved
+	// their priority). Zero selects the default (10ms); negative
+	// disables periodic balancing, leaving only idle/priority
+	// stealing. The balancer runs at scheduling points against the
+	// configured Clock, never on its own goroutine, so balanced
+	// schedules stay seed-replayable.
+	BalancePeriod time.Duration
 	// Chaos, if non-nil, perturbs scheduling decisions (forced
 	// preemption, dispatch pick order, wakeup order, injected
 	// EINTR, early SIGWAITING) deterministically from its seed.
@@ -98,6 +107,7 @@ type Config struct {
 const (
 	defaultLWPCreateCost    = 20 * time.Microsecond
 	defaultKernelSwitchCost = 1500 * time.Nanosecond
+	defaultBalancePeriod    = 10 * time.Millisecond
 )
 
 // spinFor models a fixed kernel path length by burning host CPU.
@@ -118,10 +128,19 @@ type Kernel struct {
 	rings *trace.Rings
 	chaos *chaos.Source
 
-	cpus     []*CPU
-	runnable []*LWP
-	procs    map[PID]*Process
-	nextPID  PID
+	cpus    []*CPU
+	procs   map[PID]*Process
+	nextPID PID
+
+	// Dispatcher state (per-CPU queues live on the CPUs; see
+	// dispq.go). nrunnable and gangQueued are the global counts the
+	// hot paths consult instead of scanning queues.
+	psets        map[PsetID]*pset
+	nextPset     PsetID
+	nrunnable    int // queued LWPs across all CPUs
+	gangQueued   int // queued gang members (enables the gang slow path)
+	lastBalance  time.Duration
+	balanceMoves uint64
 
 	// forkHooks run (in registration order, with mu released) when
 	// a process is duplicated; layers above the kernel use them to
@@ -174,6 +193,12 @@ func NewKernel(cfg Config) *Kernel {
 	case cfg.KernelSwitchCost == 0:
 		cfg.KernelSwitchCost = defaultKernelSwitchCost
 	}
+	switch {
+	case cfg.BalancePeriod < 0:
+		cfg.BalancePeriod = 0
+	case cfg.BalancePeriod == 0:
+		cfg.BalancePeriod = defaultBalancePeriod
+	}
 	k := &Kernel{
 		cfg:   cfg,
 		clock: cfg.Clock,
@@ -181,9 +206,14 @@ func NewKernel(cfg Config) *Kernel {
 		rings: cfg.Rings,
 		chaos: cfg.Chaos,
 		procs: make(map[PID]*Process),
+		psets: make(map[PsetID]*pset),
 	}
+	def := &pset{id: PsetDefault}
+	k.psets[PsetDefault] = def
 	for i := 0; i < cfg.NCPU; i++ {
-		k.cpus = append(k.cpus, &CPU{id: i})
+		c := &CPU{id: i, ps: def}
+		k.cpus = append(k.cpus, c)
+		def.cpus = append(def.cpus, c)
 	}
 	return k
 }
@@ -313,6 +343,7 @@ func (k *Kernel) newLWPLocked(p *Process, class Class, prio int) *LWP {
 		msBorn:    now,
 		msMark:    now,
 		lastCPU:   -1,
+		ps:        k.psets[PsetDefault],
 		exited:    make(chan struct{}),
 	}
 	l.curCPU.Store(-1)
@@ -343,13 +374,80 @@ func (k *Kernel) Start(l *LWP) {
 
 func (k *Kernel) makeRunnableLocked(l *LWP) {
 	k.setLWPStateLocked(l, k.clock.Now(), LWPRunnable)
-	k.runnable = append(k.runnable, l)
+	k.enqueueLocked(l)
 	k.scheduleLocked()
 }
 
-// scheduleLocked assigns runnable LWPs to free CPUs, highest global
-// priority first, honouring CPU bindings and preferring to
-// co-schedule members of gangs that are already on CPU.
+// enqueueLocked places a runnable LWP on a CPU's dispatch queue.
+func (k *Kernel) enqueueLocked(l *LWP) {
+	k.runqPushLocked(k.placeLocked(l), l)
+}
+
+// runqPushLocked and runqRemoveLocked are the only mutators of the
+// per-CPU queues: they keep the global runnable and gang counters
+// consistent. Class, priority, gang, CPU-binding and pset changes to
+// a queued LWP must remove first and re-push after.
+func (k *Kernel) runqPushLocked(c *CPU, l *LWP) {
+	c.runq.push(l, globalLevel(l.globalPrio()))
+	l.rqCPU = c
+	k.nrunnable++
+	if l.gang != 0 {
+		k.gangQueued++
+	}
+}
+
+func (k *Kernel) runqRemoveLocked(l *LWP) {
+	l.rqCPU.runq.unlink(l)
+	l.rqCPU = nil
+	k.nrunnable--
+	if l.gang != 0 {
+		k.gangQueued--
+	}
+}
+
+// placeLocked chooses the CPU a runnable LWP queues on: its bound CPU
+// if hard-bound; otherwise, within its processor set, the CPU it last
+// ran on (cache affinity) when that CPU is free or no CPU is free, a
+// free CPU over a busy affine one (work conservation beats warmth),
+// and the shallowest queue when everything is busy.
+func (k *Kernel) placeLocked(l *LWP) *CPU {
+	if l.boundCPU != nil {
+		return l.boundCPU
+	}
+	ps := l.ps
+	var affin *CPU
+	if l.lastCPU >= 0 {
+		if c := k.cpus[l.lastCPU]; c.ps == ps {
+			affin = c
+		}
+	}
+	var free *CPU
+	for _, c := range ps.cpus {
+		if c.lwp == nil {
+			free = c
+			break
+		}
+	}
+	if affin != nil && (affin.lwp == nil || free == nil) {
+		return affin
+	}
+	if free != nil {
+		return free
+	}
+	best := ps.cpus[0]
+	for _, c := range ps.cpus[1:] {
+		if c.runq.n < best.runq.n {
+			best = c
+		}
+	}
+	return best
+}
+
+// scheduleLocked assigns queued LWPs to free CPUs: each free CPU pops
+// its own queue, stealing from a processor-set sibling when the
+// sibling holds strictly better (or the only) stealable work. It then
+// runs the periodic balancer if its period elapsed and flags any
+// outranked on-CPU LWP for preemption.
 func (k *Kernel) scheduleLocked() {
 	for {
 		progress := false
@@ -368,6 +466,7 @@ func (k *Kernel) scheduleLocked() {
 			break
 		}
 	}
+	k.maybeBalanceLocked()
 	k.preemptCheckLocked()
 }
 
@@ -390,46 +489,174 @@ func (k *Kernel) onCPUGangsLocked() map[int]bool {
 	return gangs
 }
 
+// pickForLocked selects the LWP for a free CPU: the head of its own
+// queue's top level, unless a sibling queue in the same processor set
+// holds strictly higher-priority stealable work (or c's queue is
+// empty), in which case c steals — so per-CPU queues preserve the
+// shared queue's global priority order, and no CPU idles while its
+// set has stealable work.
 func (k *Kernel) pickForLocked(c *CPU) *LWP {
-	gangs := k.onCPUGangsLocked()
-	best := -1
-	bestPrio := -1
-	// Under chaos, collect every eligible candidate so the source
-	// can dispatch a non-best LWP (delaying the best one). The CPU
-	// is still always given to *some* eligible LWP, so perturbation
-	// never idles a processor while work exists; the passed-over
-	// LWP stays runnable and preemptCheckLocked reclaims a CPU for
-	// it promptly.
-	var eligible []int
+	if k.gangQueued > 0 {
+		return k.pickGangLocked(c)
+	}
+	own := c.runq.top()
+	vLvl := -1
+	var victim *CPU
+	var candidates []*CPU
 	collect := k.chaos.Enabled()
-	for i, l := range k.runnable {
-		if l.boundCPU != nil && l.boundCPU != c {
+	for _, d := range c.ps.cpus {
+		if d == c {
+			continue
+		}
+		lvl := d.runq.topStealable()
+		if lvl < 0 {
 			continue
 		}
 		if collect {
-			eligible = append(eligible, i)
+			candidates = append(candidates, d)
 		}
-		prio := l.globalPrio()
-		if l.gang != 0 && gangs[l.gang] {
-			prio += gangBonus
-			if prio > sysMaxGlobal {
-				prio = sysMaxGlobal
-			}
-		}
-		if prio > bestPrio {
-			bestPrio = prio
-			best = i
+		if lvl > vLvl {
+			vLvl, victim = lvl, d
 		}
 	}
-	if best < 0 {
+	if victim != nil && vLvl > own {
+		// Chaos: steal from a different victim queue. The thief
+		// still takes that queue's best stealable LWP, so the CPU is
+		// never idled; only placement is perturbed.
+		if alt := k.chaos.StealReorder(len(candidates)); alt >= 0 {
+			victim = candidates[alt]
+		}
+		l := victim.runq.firstStealableAt(victim.runq.topStealable())
+		k.runqRemoveLocked(l)
+		c.steals++
+		k.rings.Record(c.id, trace.EvSteal, int(l.proc.pid), int(l.id), 0, uint64(victim.id))
+		return l
+	}
+	if own < 0 {
+		return nil
+	}
+	// Chaos: dispatch a non-best LWP from c's own queue, delaying
+	// the best one; preemptCheckLocked reclaims a CPU for it.
+	if alt := k.chaos.PickReorder(c.runq.n); alt >= 0 {
+		if l := c.runq.nth(alt); l != nil {
+			k.runqRemoveLocked(l)
+			return l
+		}
+	}
+	l := c.runq.head(own)
+	k.runqRemoveLocked(l)
+	return l
+}
+
+// pickGangLocked is the dispatch slow path while gang members are
+// queued: it scans every queue in c's processor set, boosting members
+// of gangs already on CPU, reproducing the shared-queue co-scheduling
+// semantics. Gang workloads are rare; the common path never scans.
+func (k *Kernel) pickGangLocked(c *CPU) *LWP {
+	gangs := k.onCPUGangsLocked()
+	var best *LWP
+	bestPrio := -1
+	var bestCPU *CPU
+	var eligible []*LWP
+	var eligibleCPU []*CPU
+	collect := k.chaos.Enabled()
+	for _, d := range c.ps.cpus {
+		d.runq.forEach(func(l *LWP) {
+			if l.boundCPU != nil && l.boundCPU != c {
+				return
+			}
+			if collect {
+				eligible = append(eligible, l)
+				eligibleCPU = append(eligibleCPU, d)
+			}
+			prio := l.globalPrio()
+			if l.gang != 0 && gangs[l.gang] {
+				prio += gangBonus
+				if prio > sysMaxGlobal {
+					prio = sysMaxGlobal
+				}
+			}
+			if prio > bestPrio {
+				bestPrio = prio
+				best = l
+				bestCPU = d
+			}
+		})
+	}
+	if best == nil {
 		return nil
 	}
 	if alt := k.chaos.PickReorder(len(eligible)); alt >= 0 {
-		best = eligible[alt]
+		best, bestCPU = eligible[alt], eligibleCPU[alt]
 	}
-	l := k.runnable[best]
-	k.runnable = append(k.runnable[:best], k.runnable[best+1:]...)
-	return l
+	k.runqRemoveLocked(best)
+	if bestCPU != c {
+		c.steals++
+		k.rings.Record(c.id, trace.EvSteal, int(best.proc.pid), int(best.id), 0, uint64(bestCPU.id))
+	}
+	return best
+}
+
+// maybeBalanceLocked runs the balancer when its period has elapsed on
+// the kernel clock (or a chaos source forces an early pass). The
+// balancer never runs on its own goroutine: it piggybacks on
+// scheduling points, so balanced schedules replay from a seed.
+func (k *Kernel) maybeBalanceLocked() {
+	if k.nrunnable == 0 {
+		return
+	}
+	now := k.clock.Now()
+	period := k.cfg.BalancePeriod
+	due := period > 0 && now-k.lastBalance >= period
+	if !due && !k.chaos.BalanceEarly() {
+		return
+	}
+	k.balanceLocked(now)
+}
+
+// balanceLocked re-levels queued timeshare LWPs whose decayed usage
+// moved their priority (the ts_update analogue) and evens out
+// stealable queue depths within each processor set, moving the
+// lowest-priority, youngest entries from the deepest queue toward the
+// shallowest until they differ by at most one.
+func (k *Kernel) balanceLocked(now time.Duration) {
+	k.lastBalance = now
+	var relevel []*LWP
+	for _, c := range k.cpus {
+		c.runq.forEach(func(l *LWP) {
+			if lvl := globalLevel(l.globalPrio()); lvl != l.rqLevel {
+				relevel = append(relevel, l)
+			}
+		})
+	}
+	for _, l := range relevel {
+		c := l.rqCPU
+		k.runqRemoveLocked(l)
+		k.runqPushLocked(c, l)
+	}
+	for _, ps := range k.psets {
+		if len(ps.cpus) < 2 {
+			continue
+		}
+		for {
+			lo, hi := ps.cpus[0], ps.cpus[0]
+			for _, c := range ps.cpus[1:] {
+				if c.runq.n < lo.runq.n {
+					lo = c
+				}
+				if c.runq.stealableN() > hi.runq.stealableN() {
+					hi = c
+				}
+			}
+			if hi.runq.stealableN()-lo.runq.n < 2 || lo == hi {
+				break
+			}
+			l := hi.runq.bottomStealable()
+			k.runqRemoveLocked(l)
+			k.runqPushLocked(lo, l)
+			k.balanceMoves++
+		}
+	}
 }
 
 func (k *Kernel) assignLocked(l *LWP, c *CPU) {
@@ -441,7 +668,9 @@ func (k *Kernel) assignLocked(l *LWP, c *CPU) {
 	l.onCPUSince = now
 	l.chargeMark = now
 	l.curCPU.Store(int32(c.id))
+	c.dispatches++
 	if l.lastCPU >= 0 && l.lastCPU != c.id {
+		c.migrations++
 		k.rings.Record(c.id, trace.EvMigrate, int(l.proc.pid), int(l.id), 0, uint64(l.lastCPU))
 	}
 	l.lastCPU = c.id
@@ -470,18 +699,23 @@ func (k *Kernel) releaseCPULocked(l *LWP, newState LWPState) {
 // higher-priority LWP is waiting for a CPU. Preemption is cooperative
 // and takes effect at the victim's next checkpoint.
 func (k *Kernel) preemptCheckLocked() {
-	if len(k.runnable) == 0 {
+	if k.nrunnable == 0 {
 		return
 	}
-	bestWaiting := -1
-	for _, l := range k.runnable {
-		if p := l.globalPrio(); p > bestWaiting {
-			bestWaiting = p
+	for _, ps := range k.psets {
+		bestWaiting := -1
+		for _, c := range ps.cpus {
+			if lvl := c.runq.top(); lvl > bestWaiting {
+				bestWaiting = lvl
+			}
 		}
-	}
-	for _, c := range k.cpus {
-		if c.lwp != nil && c.lwp.globalPrio() < bestWaiting {
-			c.lwp.preempt = true
+		if bestWaiting < 0 {
+			continue
+		}
+		for _, c := range ps.cpus {
+			if c.lwp != nil && c.lwp.globalPrio() < bestWaiting {
+				c.lwp.preempt = true
+			}
 		}
 	}
 }
@@ -519,11 +753,8 @@ func (k *Kernel) unwindLocked(l *LWP, reason string) {
 }
 
 func (k *Kernel) removeRunnableLocked(l *LWP) {
-	for i, r := range k.runnable {
-		if r == l {
-			k.runnable = append(k.runnable[:i], k.runnable[i+1:]...)
-			return
-		}
+	if l.rqOn {
+		k.runqRemoveLocked(l)
 	}
 }
 
@@ -609,7 +840,7 @@ func (k *Kernel) checkpointLocked(l *LWP) {
 		k.waitOnCPULocked(l)
 	}
 	slice := k.cfg.TimeSlice
-	expired := slice > 0 && k.clock.Now()-l.onCPUSince >= slice && len(k.runnable) > 0
+	expired := slice > 0 && k.clock.Now()-l.onCPUSince >= slice && k.nrunnable > 0
 	// Chaos: force a preemption as if the slice expired, so the
 	// dispatcher re-decides who runs here.
 	forced := l.state == LWPOnCPU && k.chaos.Preempt()
@@ -619,7 +850,7 @@ func (k *Kernel) checkpointLocked(l *LWP) {
 			k.rings.Record(l.cpu.id, trace.EvPreempt, int(l.proc.pid), int(l.id), 0, 0)
 		}
 		k.releaseCPULocked(l, LWPRunnable)
-		k.runnable = append(k.runnable, l)
+		k.enqueueLocked(l)
 		k.scheduleLocked()
 		k.waitOnCPULocked(l)
 	}
@@ -633,7 +864,7 @@ func (k *Kernel) Yield(l *LWP) {
 	k.checkpointLocked(l)
 	k.chargeLocked(l)
 	k.releaseCPULocked(l, LWPRunnable)
-	k.runnable = append(k.runnable, l)
+	k.enqueueLocked(l)
 	k.scheduleLocked()
 	k.waitOnCPULocked(l)
 }
@@ -668,6 +899,10 @@ func (k *Kernel) ExitLWP(l *LWP) {
 		p.sigwaiters--
 	}
 	k.removeRunnableLocked(l)
+	if l.psBound {
+		l.ps.nbound--
+		l.psBound = false
+	}
 	if l.sleepTimer != nil {
 		l.sleepTimer.Stop()
 		l.sleepTimer = nil

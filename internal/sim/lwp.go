@@ -92,12 +92,22 @@ type LWP struct {
 	gang       int // gang group id when class == ClassGang, else 0
 	cpu        *CPU
 	boundCPU   *CPU
+	ps         *pset // processor set the LWP runs in (default set if unbound)
+	psBound    bool  // explicitly bound to a user pset (counts in pset.nbound)
 	cond       *sync.Cond // signalled when state changes to OnCPU or wake conditions
 	preempt    bool       // yield CPU at next checkpoint
 	onCPUSince time.Duration
 	chargeMark time.Duration // last point CPU time was attributed
 	cpuUsage   time.Duration // decayed usage, drives TS priority
 	lastDecay  time.Duration
+
+	// Intrusive dispatch-queue node (dispq.go): the per-CPU run
+	// queue the LWP is waiting on, its level there, and the FIFO
+	// links. Guarded by Kernel.mu.
+	rqNext, rqPrev *LWP
+	rqCPU          *CPU
+	rqLevel        int
+	rqOn           bool
 
 	// Microstate accounting (see microstate.go); guarded by
 	// Kernel.mu except curCPU, an atomic mirror of the current CPU
@@ -179,6 +189,26 @@ func (l *LWP) Class() Class {
 
 // Wchan returns the name of the kernel wait queue the LWP is sleeping
 // on ("" when it is not sleeping) — the /proc WCHAN of this kernel.
+// Priority returns the LWP's class-relative user priority.
+func (l *LWP) Priority() int {
+	k := l.proc.kern
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return l.userPrio
+}
+
+// BoundCPU reports the CPU the LWP is hard-bound to (BindCPU), or -1
+// when it may run on any CPU of its processor set.
+func (l *LWP) BoundCPU() int {
+	k := l.proc.kern
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l.boundCPU == nil {
+		return -1
+	}
+	return l.boundCPU.id
+}
+
 func (l *LWP) Wchan() string {
 	k := l.proc.kern
 	k.mu.Lock()
@@ -252,11 +282,19 @@ func (k *Kernel) EnterAltStack(l *LWP) bool {
 }
 
 // CPU is one simulated processor. At most one LWP runs on a CPU at a
-// time; the kernel dispatches the highest-priority runnable LWPs onto
-// the available CPUs.
+// time. Each CPU owns a dispatch queue of runnable LWPs placed on it
+// (affinity first); an idle CPU steals from its processor-set
+// siblings, so no CPU idles while its set has stealable work.
 type CPU struct {
 	id  int
 	lwp *LWP // guarded by Kernel.mu
+
+	// Dispatcher state; guarded by Kernel.mu.
+	ps         *pset   // processor set this CPU belongs to
+	runq       lwpRunq // LWPs placed on this CPU
+	dispatches uint64  // LWPs dispatched onto this CPU
+	steals     uint64  // LWPs this CPU stole from a sibling's queue
+	migrations uint64  // dispatches whose LWP last ran elsewhere
 }
 
 // ID returns the CPU number.

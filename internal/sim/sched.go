@@ -133,14 +133,33 @@ func (k *Kernel) Priocntl(l *LWP, class Class, prio int) error {
 	if l.state == LWPZombie {
 		return fmt.Errorf("sim: priocntl: lwp %d is a zombie", l.id)
 	}
-	l.class = class
-	l.userPrio = prio
-	if class != ClassGang {
-		l.gang = 0
-	}
+	k.reclassLocked(l, class, prio, 0)
 	k.tr.Add("sched", "lwp %d -> class %s prio %d", l.id, class, prio)
 	k.preemptCheckLocked()
 	return nil
+}
+
+// reclassLocked installs new class parameters with the
+// remove-modify-push discipline: a queued LWP is unlinked first and
+// re-pushed after, so its queue level and the kernel's gang counter
+// track the change.
+func (k *Kernel) reclassLocked(l *LWP, class Class, prio, gang int) {
+	queued := l.rqOn
+	var c *CPU
+	if queued {
+		c = l.rqCPU
+		k.runqRemoveLocked(l)
+	}
+	l.class = class
+	l.userPrio = prio
+	if class == ClassGang {
+		l.gang = gang
+	} else {
+		l.gang = 0
+	}
+	if queued {
+		k.runqPushLocked(c, l)
+	}
 }
 
 // JoinGang places the LWP in the gang scheduling class as a member of
@@ -150,12 +169,17 @@ func (k *Kernel) JoinGang(l *LWP, g int, prio int) error {
 	if g <= 0 {
 		return fmt.Errorf("sim: gang id must be positive")
 	}
-	if err := k.Priocntl(l, ClassGang, prio); err != nil {
-		return err
+	if prio < 0 || prio > MaxUserPrio {
+		return fmt.Errorf("sim: priocntl: priority %d out of range", prio)
 	}
 	k.mu.Lock()
-	l.gang = g
-	k.mu.Unlock()
+	defer k.mu.Unlock()
+	if l.state == LWPZombie {
+		return fmt.Errorf("sim: priocntl: lwp %d is a zombie", l.id)
+	}
+	k.reclassLocked(l, ClassGang, prio, g)
+	k.tr.Add("sched", "lwp %d -> gang %d prio %d", l.id, g, prio)
+	k.preemptCheckLocked()
 	return nil
 }
 
@@ -165,14 +189,38 @@ func (k *Kernel) JoinGang(l *LWP, g int, prio int) error {
 func (k *Kernel) BindCPU(l *LWP, cpuID int) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if cpuID < 0 {
-		l.boundCPU = nil
-		return nil
+	var bound *CPU
+	if cpuID >= 0 {
+		if cpuID >= len(k.cpus) {
+			return fmt.Errorf("sim: no CPU %d (have %d)", cpuID, len(k.cpus))
+		}
+		bound = k.cpus[cpuID]
+		if l.psBound && bound.ps != l.ps {
+			return fmt.Errorf("sim: CPU %d is outside lwp %d's pset %d", cpuID, l.id, l.ps.id)
+		}
 	}
-	if cpuID >= len(k.cpus) {
-		return fmt.Errorf("sim: no CPU %d (have %d)", cpuID, len(k.cpus))
+	// Remove-modify-push: the binding decides which queue the LWP
+	// may sit on and whether it counts as stealable there.
+	queued := l.rqOn
+	if queued {
+		k.runqRemoveLocked(l)
 	}
-	l.boundCPU = k.cpus[cpuID]
-	k.tr.Add("sched", "lwp %d bound to cpu %d", l.id, cpuID)
+	l.boundCPU = bound
+	if bound != nil && !l.psBound {
+		// An unbound-pset LWP follows its CPU's set.
+		l.ps = bound.ps
+	}
+	if queued {
+		k.runqPushLocked(k.placeLocked(l), l)
+	}
+	if bound != nil {
+		if l.cpu != nil && l.cpu != bound {
+			l.preempt = true
+		}
+		k.tr.Add("sched", "lwp %d bound to cpu %d", l.id, cpuID)
+	} else {
+		k.tr.Add("sched", "lwp %d unbound", l.id)
+	}
+	k.scheduleLocked()
 	return nil
 }

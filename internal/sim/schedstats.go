@@ -1,0 +1,69 @@
+package sim
+
+// CPUStat is a snapshot of one CPU's dispatcher state and counters,
+// consumed by /proc and mtstat. Depths are instantaneous; the counters
+// are monotonic since boot.
+type CPUStat struct {
+	CPU        int
+	Pset       PsetID
+	RunqDepth  int // LWPs queued on this CPU
+	RunqBound  int // queued LWPs hard-bound here (never stolen)
+	Dispatches uint64
+	Steals     uint64 // picks this CPU took from a sibling's queue
+	Migrations uint64 // dispatches whose LWP last ran elsewhere
+}
+
+// SchedStats returns a per-CPU snapshot of the dispatcher, ascending
+// by CPU id.
+func (k *Kernel) SchedStats() []CPUStat {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]CPUStat, len(k.cpus))
+	for i, c := range k.cpus {
+		out[i] = CPUStat{
+			CPU:        c.id,
+			Pset:       c.ps.id,
+			RunqDepth:  c.runq.n,
+			RunqBound:  c.runq.nbound,
+			Dispatches: c.dispatches,
+			Steals:     c.steals,
+			Migrations: c.migrations,
+		}
+	}
+	return out
+}
+
+// BalanceMoves returns how many queued LWPs the periodic balancer has
+// moved between CPUs since boot.
+func (k *Kernel) BalanceMoves() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.balanceMoves
+}
+
+// WorkConserving verifies the dispatcher invariant the chaos sweeps
+// assert: no CPU sits idle while its own queue is non-empty or while a
+// processor-set sibling holds stealable work. Every kernel mutation
+// ends in scheduleLocked under the same lock hold, so the invariant
+// must hold at any observation point.
+func (k *Kernel) WorkConserving() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, ps := range k.psets {
+		idle := false
+		stealable := 0
+		for _, c := range ps.cpus {
+			if c.lwp == nil {
+				if c.runq.n > 0 {
+					return false
+				}
+				idle = true
+			}
+			stealable += c.runq.stealableN()
+		}
+		if idle && stealable > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -250,6 +250,7 @@ func (k *Kernel) Unpark(l *LWP) {
 	defer k.mu.Unlock()
 	if l.state == LWPParked && !l.woken {
 		l.woken = true
+		k.rings.Record(-1, trace.EvWakeup, int(l.proc.pid), int(l.id), 0, uint64(WakeNormal))
 		l.cond.Broadcast()
 		return
 	}

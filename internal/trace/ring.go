@@ -43,6 +43,10 @@ const (
 	// EvThreadPark: a thread parked, handing its LWP back to the
 	// dispatcher. Arg is the library thread state it parked in.
 	EvThreadPark
+	// EvSteal: an idle (or lower-priority) CPU pulled the LWP off
+	// another CPU's run queue. CPU is the thief; Arg is the victim
+	// CPU id. A matching EvDispatch on the thief follows.
+	EvSteal
 	numEventKinds
 )
 
@@ -65,6 +69,8 @@ func (k EventKind) String() string {
 		return "threadrun"
 	case EvThreadPark:
 		return "threadpark"
+	case EvSteal:
+		return "steal"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

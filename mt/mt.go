@@ -214,6 +214,10 @@ type Options struct {
 	// SignalOnAnyBlock turns on the paper's proposed "signals on
 	// faster events" variant of SIGWAITING (see internal/sim).
 	SignalOnAnyBlock bool
+	// BalancePeriod sets how often the kernel dispatcher re-levels
+	// and evens out the per-CPU run queues (default 10ms, negative
+	// disables the balancer).
+	BalancePeriod time.Duration
 	// LWPCreateCost and KernelSwitchCost override the simulated
 	// kernel path lengths (see internal/sim.Config). Zero selects
 	// the calibrated defaults; negative disables the simulated
@@ -273,6 +277,7 @@ func NewSystem(o Options) *System {
 		SignalOnAnyBlock: o.SignalOnAnyBlock,
 		LWPCreateCost:    o.LWPCreateCost,
 		KernelSwitchCost: o.KernelSwitchCost,
+		BalancePeriod:    o.BalancePeriod,
 		Chaos:            o.Chaos,
 	}
 	if o.TraceCapacity > 0 {
@@ -334,7 +339,93 @@ const (
 	EvLockBlock  = trace.EvLockBlock
 	EvThreadRun  = trace.EvThreadRun
 	EvThreadPark = trace.EvThreadPark
+	EvSteal      = trace.EvSteal
 )
+
+// Dispatcher re-exports: scheduling classes, processor sets, and the
+// per-CPU dispatch-queue statistics.
+type (
+	// Class is a kernel scheduling class (priocntl).
+	Class = sim.Class
+	// PsetID names a processor set (psrset).
+	PsetID = sim.PsetID
+	// PsetInfo is a snapshot of one processor set.
+	PsetInfo = sim.PsetInfo
+	// CPUStat is one CPU's dispatch-queue snapshot and counters.
+	CPUStat = sim.CPUStat
+	// ShardStat is one library ready-queue shard's snapshot.
+	ShardStat = core.ShardStat
+)
+
+// Scheduling classes and the default processor set.
+const (
+	ClassTS     = sim.ClassTS
+	ClassSYS    = sim.ClassSYS
+	ClassRT     = sim.ClassRT
+	ClassGang   = sim.ClassGang
+	PsetDefault = sim.PsetDefault
+)
+
+// PsetCreate creates an empty processor set (pset_create).
+func (s *System) PsetCreate() PsetID { return s.Kern.PsetCreate() }
+
+// PsetDestroy destroys a user set; its CPUs return to the default set
+// and its bound LWPs are unbound (pset_destroy).
+func (s *System) PsetDestroy(id PsetID) error { return s.Kern.PsetDestroy(id) }
+
+// PsetAssign moves a CPU into the set; PsetDefault moves it back
+// (pset_assign).
+func (s *System) PsetAssign(id PsetID, cpu int) error { return s.Kern.PsetAssign(id, cpu) }
+
+// Psets snapshots all processor sets.
+func (s *System) Psets() []PsetInfo { return s.Kern.Psets() }
+
+// PsetBind confines a bound thread's LWP to the processor set;
+// PsetDefault removes the binding (pset_bind). The thread must be
+// bound to an LWP (ThreadBindLWP or ThreadNewLWP): an unbound thread
+// migrates across the whole pool, so the binding would not follow it.
+func (s *System) PsetBind(t *Thread, id PsetID) error {
+	l := t.BoundLWP()
+	if l == nil {
+		return core.ErrNotBound
+	}
+	return s.Kern.PsetBind(l, id)
+}
+
+// BindCPU hard-binds a bound thread's LWP to one CPU (processor_bind).
+func (s *System) BindCPU(t *Thread, cpu int) error {
+	l := t.BoundLWP()
+	if l == nil {
+		return core.ErrNotBound
+	}
+	return s.Kern.BindCPU(l, cpu)
+}
+
+// Priocntl moves a bound thread's LWP to a scheduling class at a
+// user priority (priocntl): ClassTS ages with CPU usage, ClassRT and
+// ClassSYS are fixed. Like PsetBind and BindCPU it requires a thread
+// bound to an LWP; unbound threads take their priority from the
+// library scheduler (SetPriority).
+func (s *System) Priocntl(t *Thread, class Class, prio int) error {
+	l := t.BoundLWP()
+	if l == nil {
+		return core.ErrNotBound
+	}
+	return s.Kern.Priocntl(l, class, prio)
+}
+
+// SchedStats snapshots the kernel dispatcher: one row per CPU with its
+// processor set, queue depth, and dispatch/steal/migration counters.
+func (s *System) SchedStats() []CPUStat { return s.Kern.SchedStats() }
+
+// DispatchBench measures the library ready-queue layer in isolation:
+// workers goroutines pass tokens through a dispatcher with nshards
+// shards, iters pop+push pairs per worker. nshards == 1 is the
+// pre-sharding shared-queue configuration; the nshards == NCPU vs 1
+// ratio is the dispatch throughput gain of sharding (mtbench -fig 8).
+func DispatchBench(nshards, workers, iters int) time.Duration {
+	return core.DispatchBench(nshards, workers, iters)
+}
 
 // Thread microstates.
 const (
