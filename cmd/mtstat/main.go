@@ -21,6 +21,7 @@ func main() {
 	interval := flag.Duration("interval", 20*time.Millisecond, "snapshot interval")
 	locks := flag.Bool("locks", false, "also print /proc/<pid>/lstatus (lock wait-for edges and deadlocks)")
 	micro := flag.Bool("m", false, "also print /proc/<pid>/usage (microstate accounting columns)")
+	health := flag.Bool("health", false, "also print /proc/<pid>/health (deadman-watchdog report)")
 	flag.Parse()
 
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
@@ -123,6 +124,9 @@ func main() {
 			}
 			if *locks {
 				files = append(files, "lstatus")
+			}
+			if *health {
+				files = append(files, "health")
 			}
 			for _, pid := range pids {
 				for _, f := range files {

@@ -4,7 +4,18 @@
 // client pipes; each arriving request gets its own worker thread
 // (cheap, unbound); workers consult a directory service in a child
 // process over another pipe, demonstrating threads blocking in the
-// kernel on I/O while the rest of the server keeps running.
+// kernel on I/O while the rest of the server keeps running. Every
+// request gets a one-byte reply: 'K' for a completed lookup, 'E' when
+// the server sheds the request.
+//
+// With -overload the same server runs under resource exhaustion: the
+// process gets an LWP rlimit of 4 against 8 concurrent clients (2x
+// the limit), a thread watermark just above the limit, and a slowed
+// directory service so workers pile up blocked in the kernel. At the
+// watermark Create fails with EAGAIN and the listener sheds the
+// request with an error reply instead of crashing; SIGWAITING pool
+// growth hits the rlimit and backs off instead of spinning. The run
+// must complete with served+shed == total and zero crashes.
 //
 // The client and directory-service processes are fork1() children of
 // the server, so they inherit the pipe descriptors exactly as UNIX
@@ -12,10 +23,14 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sync"
+	"time"
 
 	"sunosmt/mt"
 )
@@ -24,6 +39,12 @@ const (
 	nClients     = 8
 	reqPerClient = 25
 	total        = nClients * reqPerClient
+
+	// Overload-mode limits: demand is nClients concurrent requests
+	// against an LWP rlimit of half that, and the thread watermark
+	// admits the listener plus overloadMaxThreads-1 workers.
+	overloadLWPLimit   = nClients / 2
+	overloadMaxThreads = overloadLWPLimit + 2
 )
 
 // Per-request failures are recorded here rather than silently
@@ -44,7 +65,16 @@ func fail(context string, err error) {
 }
 
 func main() {
+	overload := flag.Bool("overload", false,
+		"run under resource exhaustion: LWP rlimit at half the client count, thread watermark, slowed directory service")
+	flag.Parse()
+
 	sys := mt.NewSystem(mt.Options{NCPU: 2})
+	cfg := mt.ProcConfig{}
+	if *overload {
+		cfg.LWPLimit = overloadLWPLimit
+		cfg.MaxThreads = overloadMaxThreads
+	}
 	done := make(chan struct{})
 	ch := make(chan *mt.Proc, 1)
 	server, err := sys.Spawn("netserver", func(t *mt.Thread, _ any) {
@@ -52,16 +82,22 @@ func main() {
 		p := <-ch
 		r := t.Runtime()
 
-		// One pipe per client plus a request/reply pair for the
-		// directory service. Children inherit these descriptors.
+		// One request pipe and one reply pipe per client, plus a
+		// request/reply pair for the directory service. Children
+		// inherit these descriptors.
 		type pipePair struct{ r, w int }
-		var cps [nClients]pipePair
+		var cps, rps [nClients]pipePair
 		for i := range cps {
 			rfd, wfd, err := p.Pipe(t)
 			if err != nil {
 				log.Fatal(err)
 			}
 			cps[i] = pipePair{rfd, wfd}
+			rfd, wfd, err = p.Pipe(t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rps[i] = pipePair{rfd, wfd}
 		}
 		dreqR, dreqW, err := p.Pipe(t)
 		if err != nil {
@@ -72,15 +108,35 @@ func main() {
 			log.Fatal(err)
 		}
 
-		// fork1: the directory service.
+		// fork1: the directory service. It serves until the request
+		// pipe drains to EOF — under overload some requests are shed
+		// at the server and never reach the directory, so a fixed
+		// request count would hang here.
 		dirCh := make(chan *mt.Proc, 1)
 		dir, err := p.Fork1(t, func(dt *mt.Thread, _ any) {
 			dp := <-dirCh
+			// Close the inherited copies of the ends this process
+			// does not use, or the server's close of dreqW could
+			// never produce EOF below.
+			if err := dp.Close(dt, dreqW); err != nil {
+				fail("dir: close dreqW", err)
+			}
+			if err := dp.Close(dt, drepR); err != nil {
+				fail("dir: close drepR", err)
+			}
 			buf := make([]byte, 1)
-			for i := 0; i < total; i++ {
+			for i := 0; ; i++ {
 				if _, err := dp.Read(dt, dreqR, buf); err != nil {
+					if errors.Is(err, io.EOF) {
+						return
+					}
 					fail(fmt.Sprintf("dir: read request %d", i), err)
 					return
+				}
+				if *overload {
+					// A slow backend is what piles workers up
+					// against the rlimit.
+					dp.Sleep(dt, time.Millisecond)
 				}
 				buf[0] ^= 0x80 // the "lookup"
 				if _, err := dp.Write(dt, drepW, buf); err != nil {
@@ -94,20 +150,39 @@ func main() {
 		}
 		dirCh <- dir
 
-		// fork1: the clients, one thread per connection.
+		// fork1: the clients, one thread per connection. Each client
+		// runs request/reply lockstep and tallies how its requests
+		// fared.
 		cliCh := make(chan *mt.Proc, 1)
 		cli, err := p.Fork1(t, func(ct *mt.Thread, _ any) {
 			cp := <-cliCh
+			// The LWP rlimit is inherited across fork; the overload
+			// experiment constrains the server, not the clients, so
+			// the client child lifts its own limit (setrlimit) to
+			// keep demand at the full 2x the server's rlimit.
+			cp.Process().SetLWPLimit(0)
+			if err := cp.Close(ct, dreqW); err != nil {
+				fail("client: close dreqW", err)
+			}
 			var ids []mt.ThreadID
 			for i := 0; i < nClients; i++ {
 				i := i
 				c, err := ct.Runtime().Create(func(c *mt.Thread, _ any) {
+					rep := make([]byte, 1)
 					for j := 0; j < reqPerClient; j++ {
 						if _, err := cp.Write(c, cps[i].w, []byte{byte(i)}); err != nil {
 							fail(fmt.Sprintf("client %d: write request %d", i, j), err)
 							return
 						}
-						c.Yield()
+						if _, err := cp.Read(c, rps[i].r, rep); err != nil {
+							fail(fmt.Sprintf("client %d: read reply %d", i, j), err)
+							return
+						}
+						if rep[0] != 'K' && rep[0] != 'E' {
+							fail(fmt.Sprintf("client %d", i),
+								fmt.Errorf("request %d: bad reply byte %#x", j, rep[0]))
+							return
+						}
 					}
 				}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
 				if err != nil {
@@ -126,9 +201,12 @@ func main() {
 		}
 		cliCh <- cli
 
-		// The listener loop: poll, accept, thread-per-request.
+		// The listener loop: poll, accept, thread-per-request. When
+		// Create hits the thread watermark it returns EAGAIN and the
+		// listener sheds the request — error reply, not a crash.
 		var mu mt.Mutex
 		served := 0
+		shed := 0
 		accepted := 0
 		var workers []mt.ThreadID
 		for accepted < total {
@@ -143,6 +221,7 @@ func main() {
 				if fds[i].Revents&mt.PollIn == 0 {
 					continue
 				}
+				i := i
 				buf := make([]byte, 1)
 				if _, err := p.Read(t, cps[i].r, buf); err != nil {
 					log.Fatal(err)
@@ -151,24 +230,41 @@ func main() {
 					// Blocking round trip to the directory
 					// service: this thread's LWP parks in the
 					// kernel; SIGWAITING grows the pool if
-					// everyone is waiting. A failed round trip is
-					// recorded and the request dropped; the server
-					// keeps serving the rest.
+					// everyone is waiting (up to the rlimit). The
+					// client always gets a reply byte: 'K' on a
+					// completed lookup, 'E' if the round trip
+					// failed.
+					rep := []byte{'E'}
 					if _, err := p.Write(c, dreqW, buf); err != nil {
 						fail("worker: write to directory", err)
-						return
-					}
-					rep := make([]byte, 1)
-					if _, err := p.Read(c, drepR, rep); err != nil {
+					} else if _, err := p.Read(c, drepR, rep); err != nil {
 						fail("worker: read directory reply", err)
+						rep[0] = 'E'
+					} else {
+						rep[0] = 'K'
+					}
+					if _, err := p.Write(c, rps[i].w, rep); err != nil {
+						fail("worker: write reply", err)
 						return
 					}
-					mu.Enter(c)
-					served++
-					mu.Exit(c)
+					if rep[0] == 'K' {
+						mu.Enter(c)
+						served++
+						mu.Exit(c)
+					}
 				}, nil, mt.CreateOpts{Flags: mt.ThreadWait})
 				if err != nil {
-					log.Fatal(err)
+					if !errors.Is(err, mt.ErrAgain) {
+						log.Fatal(err)
+					}
+					// At the watermark: shed the request with an
+					// error reply and keep serving.
+					if _, werr := p.Write(t, rps[i].w, []byte{'E'}); werr != nil {
+						fail("server: write shed reply", werr)
+					}
+					shed++
+					accepted++
+					continue
 				}
 				workers = append(workers, w.ID())
 				accepted++
@@ -192,17 +288,30 @@ func main() {
 				fail(fmt.Sprintf("server: wait worker %d", id), err)
 			}
 		}
+		// All workers are done with the directory; closing the last
+		// request-pipe writer sends the directory EOF.
+		if err := p.Close(t, dreqW); err != nil {
+			fail("server: close dreqW", err)
+		}
 		// Wait for the children.
 		for i := 0; i < 2; i++ {
 			if _, err := p.WaitChild(t, -1); err != nil {
 				fail("server: wait child", err)
 			}
 		}
-		if served != total {
+		if served+shed != total {
+			fail("server", fmt.Errorf("served %d + shed %d != %d requests", served, shed, total))
+		}
+		if *overload && shed == 0 {
+			fail("server", errors.New("overload run shed nothing: watermark never hit"))
+		}
+		if !*overload && served != total {
 			fail("server", fmt.Errorf("served %d of %d requests", served, total))
 		}
-		fmt.Printf("server: handled %d requests; LWP pool grew to %d\n", served, r.PoolSize())
-	}, nil, mt.ProcConfig{})
+		growFail, growDefer, _ := r.GrowthStats()
+		fmt.Printf("server: served %d, shed %d of %d requests; LWP pool grew to %d (growth failures %d, deferred %d)\n",
+			served, shed, total, r.PoolSize(), growFail, growDefer)
+	}, nil, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -103,6 +103,18 @@ type Config struct {
 	// direction: moves only ever shift queued work toward idler
 	// CPUs, and the work-conservation invariant is unaffected.
 	BalanceEarly int
+	// AllocFail fails an address-space carve (Mmap, Sbrk, stack
+	// segment) with a transient ENOMEM. Failing is the safe
+	// direction only for callers that handle ENOMEM, so the rate is
+	// zero in DefaultConfig; the exhaustion sweeps enable it.
+	AllocFail int
+	// LWPSpawnFail fails a kernel LWP creation with a transient
+	// EAGAIN, as if the kernel hit its process or memory limits.
+	// Zero in DefaultConfig (see AllocFail).
+	LWPSpawnFail int
+	// StackFail fails a library thread-stack allocation with a
+	// transient EAGAIN. Zero in DefaultConfig (see AllocFail).
+	StackFail int
 
 	// JournalCapacity bounds the event journal (default 4096).
 	JournalCapacity int
@@ -130,6 +142,19 @@ func DefaultConfig(seed uint64) Config {
 		StealReorder:   150,
 		BalanceEarly:   100,
 	}
+}
+
+// FaultConfig is DefaultConfig with the resource-exhaustion sites
+// (AllocFail, LWPSpawnFail, StackFail) enabled as well: every
+// schedule perturbation of the default sweeps plus transient
+// allocation failures on the creation paths. Only workloads that
+// treat EAGAIN/ENOMEM as recoverable should run under it.
+func FaultConfig(seed uint64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.AllocFail = 80
+	cfg.LWPSpawnFail = 120
+	cfg.StackFail = 80
+	return cfg
 }
 
 // Source issues deterministic perturbation decisions. A nil *Source
@@ -354,6 +379,33 @@ func (s *Source) BalanceEarly() bool {
 		return false
 	}
 	return s.fire("sched.balance", s.cfg.BalanceEarly)
+}
+
+// AllocFail reports whether an address-space carve should fail with a
+// transient ENOMEM.
+func (s *Source) AllocFail() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("vm.allocfail", s.cfg.AllocFail)
+}
+
+// LWPSpawnFail reports whether a kernel LWP creation should fail with
+// a transient EAGAIN.
+func (s *Source) LWPSpawnFail() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("sim.lwpspawnfail", s.cfg.LWPSpawnFail)
+}
+
+// StackFail reports whether a library thread-stack allocation should
+// fail with a transient EAGAIN.
+func (s *Source) StackFail() bool {
+	if s == nil {
+		return false
+	}
+	return s.fire("core.stackfail", s.cfg.StackFail)
 }
 
 // Jitter perturbs a timer duration by up to ±MaxTimerJitter, never

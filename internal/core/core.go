@@ -89,6 +89,16 @@ type Config struct {
 	// PriorityInversion bench and the examples/realtime demo; sleep
 	// queues stay priority-ordered either way.
 	NoPriorityInheritance bool
+	// MaxThreads is the per-process thread cap: Create fails with
+	// ErrAgain once this many threads are live. Zero is unlimited.
+	// This is the library-level admission control that lets a server
+	// shed load with an error instead of exhausting the kernel.
+	MaxThreads int
+	// WatchdogDeadline is the residency deadline the health monitor
+	// judges against: an LWP on-CPU, or a thread blocked on a lock
+	// or sleep, for longer than this is flagged stuck. Zero selects
+	// the default (1s). See Runtime.Health.
+	WatchdogDeadline time.Duration
 }
 
 // Runtime is the threads library instance for one process.
@@ -117,6 +127,16 @@ type Runtime struct {
 	agedOut  int // pool LWPs retired by idle aging (stats)
 
 	concurrency int // thread_setconcurrency target; 0 = automatic
+
+	// SIGWAITING growth backoff (see onSigwaiting): after a failed
+	// LWP spawn the pool waits growBackoff (doubling per consecutive
+	// failure, bounded) before trying again, instead of retrying on
+	// every SIGWAITING.
+	growBackoff    time.Duration
+	growNextAt     time.Duration
+	growRetryArmed bool
+	growFailures   uint64
+	growDeferred   uint64
 
 	zombies   map[ThreadID]*Thread // THREAD_WAIT zombies awaiting thread_wait
 	anyWC     WaitChan             // thread_wait(0) callers sleep here
@@ -549,24 +569,92 @@ func (m *Runtime) Concurrency() int {
 	return len(m.pool) - m.retiring
 }
 
+// SIGWAITING growth backoff bounds: the first failed spawn waits
+// minGrowBackoff before retrying; consecutive failures double the
+// wait up to maxGrowBackoff.
+const (
+	minGrowBackoff = time.Millisecond
+	maxGrowBackoff = 128 * time.Millisecond
+)
+
 // onSigwaiting grows the pool when the kernel reports that all LWPs
 // are blocked in indefinite waits and runnable threads exist — the
 // deadlock-avoidance mechanism of the paper ("The threads package can
 // use the receipt of SIGWAITING to cause extra LWPs to be created as
 // required to avoid deadlock").
+//
+// Growth is failure-aware: when the kernel refuses an LWP (EAGAIN at
+// the rlimit, transient chaos fault) the pool backs off with bounded
+// exponential delay rather than re-spawning on every SIGWAITING, and
+// arms a retry timer so growth resumes even if no further SIGWAITING
+// arrives (the kernel's edge trigger will not repost while the
+// blocked set is unchanged).
 func (m *Runtime) onSigwaiting() {
 	m.mu.Lock()
 	need := m.disp.len() > 0 && !m.dying.Load() &&
 		len(m.pool)-m.retiring < m.cfg.MaxAutoLWPs &&
 		m.concurrency == 0
+	now := m.kern.Clock().Now()
+	if need && m.growBackoff > 0 && now < m.growNextAt {
+		m.growDeferred++
+		m.ensureGrowRetryLocked(m.growNextAt - now)
+		m.mu.Unlock()
+		return
+	}
 	m.mu.Unlock()
 	if !need {
 		return
 	}
 	m.tr.Add("pool", "SIGWAITING: growing LWP pool")
 	if err := m.addPoolLWP(); err != nil {
-		m.tr.Add("pool", "SIGWAITING growth failed: %v", err)
+		m.growthFailed(now, err)
+		return
 	}
+	m.mu.Lock()
+	m.growBackoff = 0
+	m.mu.Unlock()
+}
+
+// growthFailed records a failed SIGWAITING spawn: double the backoff
+// (bounded) and make sure a retry fires after it elapses.
+func (m *Runtime) growthFailed(now time.Duration, err error) {
+	m.mu.Lock()
+	switch {
+	case m.growBackoff == 0:
+		m.growBackoff = minGrowBackoff
+	case m.growBackoff < maxGrowBackoff:
+		m.growBackoff *= 2
+	}
+	d := m.growBackoff
+	m.growNextAt = now + d
+	m.growFailures++
+	m.ensureGrowRetryLocked(d)
+	m.mu.Unlock()
+	m.tr.Add("pool", "SIGWAITING growth failed (%v); backing off %v", err, d)
+}
+
+// ensureGrowRetryLocked arms at most one pending retry timer that
+// re-evaluates pool growth once the backoff window closes.
+func (m *Runtime) ensureGrowRetryLocked(d time.Duration) {
+	if m.growRetryArmed || m.dying.Load() {
+		return
+	}
+	m.growRetryArmed = true
+	m.kern.Clock().AfterFunc(d, func() {
+		m.mu.Lock()
+		m.growRetryArmed = false
+		m.mu.Unlock()
+		m.onSigwaiting()
+	})
+}
+
+// GrowthStats reports the SIGWAITING degradation counters: spawn
+// failures, growth attempts absorbed by the backoff window, and the
+// current backoff (0 when the last spawn succeeded).
+func (m *Runtime) GrowthStats() (failures, deferred uint64, backoff time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.growFailures, m.growDeferred, m.growBackoff
 }
 
 // PoolSize reports the number of pool LWPs (for tests and mtstat).

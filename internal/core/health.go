@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"sunosmt/internal/sim"
+	"sunosmt/internal/trace"
+)
+
+// Deadman watchdog: a liveness monitor built from data the runtime
+// already keeps — LWP and thread microstate residency plus the
+// per-CPU event rings. It never runs on its own goroutine; Health is
+// a pure observation pass computed on read (like the deadlock
+// detector), so watchdog-enabled schedules stay seed-replayable. The
+// report is surfaced through /proc/<pid>/health and `mtstat -health`.
+
+// defaultWatchdogDeadline applies when Config.WatchdogDeadline is 0.
+const defaultWatchdogDeadline = time.Second
+
+// LWPHealth describes one LWP flagged by the watchdog: it has held a
+// CPU continuously for longer than the deadline (a runaway spin, or a
+// thread that stopped hitting checkpoints).
+type LWPHealth struct {
+	ID       sim.LWPID
+	CPU      int           // the CPU it occupies (-1 if it just moved)
+	OnCPUFor time.Duration // continuous on-CPU residency
+	// Dispatches counts dispatch events still in that CPU's event
+	// ring — context for how starved the CPU's queue is (a stuck
+	// LWP shows a ring with no recent dispatches). 0 when event
+	// tracing is off.
+	Dispatches int
+}
+
+// ThreadHealth describes one thread flagged by the watchdog: blocked
+// on a synchronization object or sleeping past the deadline.
+type ThreadHealth struct {
+	ID       ThreadID
+	State    Microstate    // MSLock or MSSleep
+	StuckFor time.Duration // residency in that state
+	// BlockedOn is the published wait-for edge ("kind:name"), ""
+	// for a plain event sleep.
+	BlockedOn string
+}
+
+// HealthReport is one watchdog pass over a process.
+type HealthReport struct {
+	Deadline     time.Duration
+	StuckLWPs    []LWPHealth
+	StuckThreads []ThreadHealth
+}
+
+// Healthy reports whether the pass flagged nothing.
+func (r HealthReport) Healthy() bool {
+	return len(r.StuckLWPs) == 0 && len(r.StuckThreads) == 0
+}
+
+// Health runs one watchdog pass: every LWP whose continuous on-CPU
+// residency exceeds the deadline, and every thread blocked (MSLock)
+// or sleeping (MSSleep) past it, is flagged. deadline <= 0 selects
+// the configured WatchdogDeadline (default 1s). Results are sorted by
+// id so repeated passes are comparable.
+func (m *Runtime) Health(deadline time.Duration) HealthReport {
+	if deadline <= 0 {
+		deadline = m.cfg.WatchdogDeadline
+	}
+	if deadline <= 0 {
+		deadline = defaultWatchdogDeadline
+	}
+	rep := HealthReport{Deadline: deadline}
+	for _, l := range m.proc.LWPs() {
+		if d := l.OnCPUFor(); d > deadline {
+			rep.StuckLWPs = append(rep.StuckLWPs, LWPHealth{
+				ID: l.ID(), CPU: l.CurCPU(), OnCPUFor: d,
+			})
+		}
+	}
+	if rings := m.kern.Rings(); rings != nil && len(rep.StuckLWPs) > 0 {
+		recs := rings.Kinds(trace.EvDispatch)
+		for i := range rep.StuckLWPs {
+			for _, r := range recs {
+				if int(r.CPU) == rep.StuckLWPs[i].CPU {
+					rep.StuckLWPs[i].Dispatches++
+				}
+			}
+		}
+	}
+	m.mu.Lock()
+	now := m.kern.Clock().Now()
+	for _, t := range m.threads {
+		if t.msState != MSLock && t.msState != MSSleep {
+			continue
+		}
+		d := now - t.msMark
+		if d <= deadline {
+			continue
+		}
+		th := ThreadHealth{ID: t.id, State: t.msState, StuckFor: d}
+		if bi := t.blocked.Load(); bi != nil {
+			th.BlockedOn = bi.Kind + ":" + bi.Name
+		}
+		rep.StuckThreads = append(rep.StuckThreads, th)
+	}
+	m.mu.Unlock()
+	sort.Slice(rep.StuckLWPs, func(i, j int) bool { return rep.StuckLWPs[i].ID < rep.StuckLWPs[j].ID })
+	sort.Slice(rep.StuckThreads, func(i, j int) bool { return rep.StuckThreads[i].ID < rep.StuckThreads[j].ID })
+	return rep
+}

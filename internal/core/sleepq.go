@@ -214,6 +214,26 @@ func (wc WaitChan) Len() int {
 	return n
 }
 
+// ResidualLinks counts library linkage that must be empty once a
+// runtime has quiesced: threads still linked on a sleep-queue bucket
+// and threads still owning turnstiles. The exhaustion sweeps assert
+// both are zero after every failed create has unwound — a non-zero
+// count is a leaked link that would corrupt a later wait or
+// inheritance walk.
+func (m *Runtime) ResidualLinks() (sleepq, turnstiles int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.threads {
+		if t.sqBkt.Load() != nil {
+			sleepq++
+		}
+		if t.heldTs != nil {
+			turnstiles++
+		}
+	}
+	return sleepq, turnstiles
+}
+
 // sleepqDetach removes t from whatever channel it is queued on, if
 // any. Used when a thread is torn down (process death) while parked:
 // without it the dead Thread would stay linked in a live queue.

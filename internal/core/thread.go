@@ -86,6 +86,14 @@ var (
 	ErrBadPrio    = errors.New("core: priority must be >= 0")
 	ErrExiting    = errors.New("core: process is exiting")
 	ErrNotBound   = errors.New("core: thread is not bound to an LWP")
+
+	// ErrAgain is EAGAIN — thr_create's documented failure when "a
+	// system limit is exceeded": the per-process thread cap, a stack
+	// allocation failure, or the kernel refusing another LWP. One
+	// sentinel (the kernel's) is shared across layers so callers
+	// test errors.Is(err, ErrAgain) regardless of which resource ran
+	// out. Always transient: retry later or shed the request.
+	ErrAgain = sim.ErrAgain
 )
 
 // CreateOpts carries the optional thread_create parameters.
@@ -251,6 +259,10 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		m.mu.Unlock()
 		return nil, ErrExiting
 	}
+	if m.cfg.MaxThreads > 0 && m.nlive >= m.cfg.MaxThreads {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("core: %d live threads at cap %d: %w", m.nlive, m.cfg.MaxThreads, ErrAgain)
+	}
 	m.tlsFrozen = true
 	m.nextID++
 	t := &Thread{
@@ -286,6 +298,10 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		if size <= 0 {
 			size = m.cfg.DefaultStackSize
 		}
+		if m.kern.Chaos().StackFail() {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("core: transient stack allocation failure: %w", ErrAgain)
+		}
 		t.stack = m.stackFromCacheLocked(size + tlsSize)
 		t.stackOwn = true
 		t.tls = t.stack[len(t.stack)-tlsSize:]
@@ -314,14 +330,18 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 	m.mu.Unlock()
 
 	if opts.Flags&ThreadNewLWP != 0 && !bind {
-		// THREAD_NEW_LWP increments the pool.
+		// THREAD_NEW_LWP increments the pool. A refused LWP refuses
+		// the whole create, and the half-built thread is unwound so
+		// a failed thr_create leaves no trace (EAGAIN semantics).
 		if err := m.addPoolLWP(); err != nil {
+			m.uncreate(t)
 			return nil, err
 		}
 	}
 	if bind {
 		l, err := m.kern.NewLWP(m.proc, sim.ClassTS, 30)
 		if err != nil {
+			m.uncreate(t)
 			return nil, err
 		}
 		t.bndLWP = l
@@ -336,6 +356,29 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		m.enqueue(t)
 	}
 	return t, nil
+}
+
+// uncreate unwinds a registered thread after a failed create (the
+// LWP-acquiring tail of Create refused). The thread never ran and was
+// never enqueued, so unwinding is pure deregistration: close its
+// microstate interval, drop it from the thread table, and return its
+// library stack to the cache. Afterwards no runq link, sleepq link,
+// turnstile, TLS block, or lock-graph vertex refers to it — the
+// invariant the exhaustion chaos sweep asserts.
+func (m *Runtime) uncreate(t *Thread) {
+	m.mu.Lock()
+	t.state = ThreadZombie
+	t.msFinalLocked(m.kern.Clock().Now())
+	delete(m.threads, t.id)
+	m.nlive--
+	if t.flags&ThreadDaemon != 0 {
+		m.ndaemon--
+	}
+	if t.stackOwn && len(m.stackCache) < m.cfg.StackCacheSize {
+		m.stackCache = append(m.stackCache, t.stack)
+	}
+	m.mu.Unlock()
+	close(t.exitCh)
 }
 
 // stackFromCacheLocked reuses a cached default stack when one fits.
@@ -393,9 +436,7 @@ func (t *Thread) threadMain() {
 	defer t.m.exitWG.Done()
 	defer t.releaseOnUnwind()
 	<-t.gate // first dispatch
-	if t.checkKilled() {
-		return
-	}
+	t.checkKilledPanic()
 	t.pollSignals()
 	t.callBody()
 	t.retire()
@@ -508,19 +549,6 @@ func (t *Thread) currentPL() *poolLWP {
 	return t.lwp
 }
 
-func (t *Thread) checkKilled() bool {
-	t.m.mu.Lock()
-	killed := t.killed || t.m.dying.Load()
-	t.m.mu.Unlock()
-	if killed {
-		t.m.threadGone(t)
-		// We were granted by the sweeper, not a dispatcher; no
-		// LWP to give back.
-		return true
-	}
-	return false
-}
-
 // parkSelf blocks the calling thread with the given state until
 // someone re-enqueues it. This is the user-level context switch: for
 // unbound threads control returns to the LWP dispatcher with no
@@ -600,8 +628,11 @@ func (t *Thread) stopIfRequested(prev ThreadState) {
 	}
 }
 
-// checkKilledPanic unwinds a thread that was granted by the dying
-// sweep rather than a dispatcher.
+// checkKilledPanic unwinds a thread whose wake raced with process
+// death — whether the grant came from the dying sweep or from a
+// dispatcher that lost the race. The unwind lands in releaseOnUnwind,
+// which hands the LWP back to any dispatcher still waiting on it; a
+// plain return here would leave that dispatcher blocked forever.
 func (t *Thread) checkKilledPanic() bool {
 	t.m.mu.Lock()
 	killed := t.killed || t.m.dying.Load()

@@ -20,6 +20,9 @@
 //	/proc/<pid>/lstatus       lock wait-for edges of the process's
 //	                          threads and any deadlock cycles the
 //	                          system-wide detector finds
+//	/proc/<pid>/health        deadman-watchdog report: LWPs stuck
+//	                          on-CPU and threads blocked past the
+//	                          configured deadline
 //
 // Mount attaches the tree; Refresh regenerates the directory for the
 // current process table (the tree is a snapshot, like reading /proc
@@ -82,6 +85,7 @@ func (pfs *ProcFS) Refresh() error {
 		if rt != nil {
 			pfs.attach(dir, "threads", func() []byte { return pfs.threadStatus(rt) })
 			pfs.attach(dir, "lstatus", func() []byte { return pfs.lockStatus(rt) })
+			pfs.attach(dir, "health", func() []byte { return pfs.health(rt) })
 		}
 		pfs.attachDir(root, fmt.Sprintf("%d", p.PID()), dir)
 	}
@@ -289,6 +293,34 @@ func (pfs *ProcFS) lockStatus(rt *core.Runtime) []byte {
 		fmt.Fprintf(&sb, "deadlock: %s\n", d)
 	}
 	fmt.Fprintf(&sb, "deadlocks: %d\n", n)
+	return []byte(sb.String())
+}
+
+// health renders the deadman-watchdog report: one line per LWP stuck
+// on-CPU past the deadline and one per thread blocked or sleeping
+// past it, headed by an ok/stuck status line.
+func (pfs *ProcFS) health(rt *core.Runtime) []byte {
+	rep := rt.Health(0)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deadline:\t%v\n", rep.Deadline)
+	if rep.Healthy() {
+		fmt.Fprintf(&sb, "status:\tok\n")
+		return []byte(sb.String())
+	}
+	fmt.Fprintf(&sb, "status:\tstuck (%d lwps, %d threads)\n",
+		len(rep.StuckLWPs), len(rep.StuckThreads))
+	for _, lh := range rep.StuckLWPs {
+		fmt.Fprintf(&sb, "lwp %d: on-cpu %v (cpu %d, %d ring dispatches)\n",
+			lh.ID, lh.OnCPUFor, lh.CPU, lh.Dispatches)
+	}
+	for _, th := range rep.StuckThreads {
+		on := th.BlockedOn
+		if on == "" {
+			on = "-"
+		}
+		fmt.Fprintf(&sb, "thread %d: %v %v blocked-on %s\n",
+			th.ID, th.State, th.StuckFor, on)
+	}
 	return []byte(sb.String())
 }
 

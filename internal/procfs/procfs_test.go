@@ -247,3 +247,79 @@ func itoa(n int) string {
 	}
 	return string(b)
 }
+
+// TestHealthNode checks the /proc/<pid>/health deadman report: a
+// process with a worker blocked far past the watchdog deadline
+// renders as stuck with a per-thread line naming what it waits on.
+func TestHealthNode(t *testing.T) {
+	k := sim.NewKernel(sim.Config{NCPU: 2})
+	fs := vfs.NewFS(k)
+	pfs, err := Mount(k, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := k.NewProcess("wedged", nil)
+	rt := core.NewRuntime(k, target, core.Config{WatchdogDeadline: time.Millisecond})
+	pfs.RegisterRuntime(rt)
+	var released atomic.Bool
+	if _, err := rt.Start(func(self *core.Thread, _ any) {
+		rt.Create(func(c *core.Thread, _ any) {
+			c.Park() // blocked far past the 1ms deadline
+		}, nil, core.CreateOpts{Flags: core.ThreadDaemon})
+		for !released.Load() {
+			self.Yield()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker is observably parked, then let it age past
+	// the deadline.
+	for {
+		parked := false
+		for _, th := range rt.Threads() {
+			if th.State() == core.ThreadSleeping {
+				parked = true
+			}
+		}
+		if parked {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := pfs.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	obs := k.NewProcess("mdb", nil)
+	opf := vfs.NewProcFiles(fs, obs)
+	l, _ := k.NewLWP(obs, sim.ClassTS, 30)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover(); k.ExitLWP(l) }()
+		k.Start(l)
+		health := readAll(t, k, opf, l, "/proc/"+itoa(int(target.PID()))+"/health")
+		if !strings.Contains(health, "deadline:\t1ms") {
+			t.Errorf("health missing deadline:\n%s", health)
+		}
+		if !strings.Contains(health, "status:\tstuck") {
+			t.Errorf("health not stuck with a wedged worker:\n%s", health)
+		}
+		if !strings.Contains(health, "thread ") || !strings.Contains(health, "blocked-on") {
+			t.Errorf("health missing per-thread line:\n%s", health)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("observer timed out")
+	}
+	released.Store(true)
+	select {
+	case <-rt.Exited():
+	case <-time.After(10 * time.Second):
+		t.Fatal("target did not exit")
+	}
+}

@@ -41,6 +41,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -49,6 +50,13 @@ import (
 	"sunosmt/internal/ktime"
 	"sunosmt/internal/trace"
 )
+
+// ErrAgain is the kernel's EAGAIN: a resource limit (the max-LWP
+// rlimit, or a chaos-injected transient spawn failure) refused an
+// allocation that may succeed later. _lwp_create returns it when "the
+// limit on LWPs is exhausted"; callers are expected to back off and
+// retry or degrade, never to crash.
+var ErrAgain = errors.New("sim: resource temporarily unavailable (EAGAIN)")
 
 // Config configures a Kernel.
 type Config struct {
@@ -288,6 +296,7 @@ func (k *Kernel) newProcessLocked(name string, parent *Process) *Process {
 		p.creds = parent.creds
 		p.actions = parent.actions
 		p.cpuLimit = parent.cpuLimit
+		p.lwpLimit = parent.lwpLimit
 		parent.children[p.pid] = p
 	}
 	k.procs[p.pid] = p
@@ -326,6 +335,14 @@ func (k *Kernel) NewLWP(p *Process, class Class, prio int) (*LWP, error) {
 	defer k.mu.Unlock()
 	if p.dying || p.state == ProcZombie || p.state == ProcDead {
 		return nil, fmt.Errorf("sim: process %d is exiting", p.pid)
+	}
+	if p.lwpLimit > 0 && p.liveLWPs >= p.lwpLimit {
+		k.tr.Add("lwp", "pid %d: LWP rlimit (%d) reached", p.pid, p.lwpLimit)
+		return nil, fmt.Errorf("pid %d at LWP rlimit %d: %w", p.pid, p.lwpLimit, ErrAgain)
+	}
+	if k.chaos.LWPSpawnFail() {
+		k.tr.Add("lwp", "pid %d: chaos LWP spawn failure", p.pid)
+		return nil, fmt.Errorf("pid %d transient spawn failure: %w", p.pid, ErrAgain)
 	}
 	return k.newLWPLocked(p, class, prio), nil
 }
@@ -734,13 +751,21 @@ func (k *Kernel) mustUnwindLocked(l *LWP) (string, bool) {
 }
 
 // waitOnCPULocked blocks until l is dispatched onto a CPU. It panics
-// with *Unwind if the process dies (or execs away) while waiting.
+// with *Unwind if the process dies (or execs away) while waiting —
+// including when death lands in the window where the dispatcher has
+// already handed l a CPU but its animator has not woken yet: the exit
+// of the wait loop re-checks, or the LWP would run on (and a parking
+// LWP would sleep past the kill broadcast, leaving liveLWPs pinned and
+// the process unfinalizable).
 func (k *Kernel) waitOnCPULocked(l *LWP) {
 	for l.state != LWPOnCPU {
 		if reason, bad := k.mustUnwindLocked(l); bad {
 			k.unwindLocked(l, reason)
 		}
 		l.cond.Wait()
+	}
+	if reason, bad := k.mustUnwindLocked(l); bad {
+		k.unwindLocked(l, reason)
 	}
 }
 

@@ -219,6 +219,19 @@ func (l *LWP) Wchan() string {
 	return ""
 }
 
+// OnCPUFor returns how long the LWP has continuously held a CPU (0
+// when it is not on one) — the signal the deadman watchdog judges
+// against its deadline to flag an LWP stuck on-CPU.
+func (l *LWP) OnCPUFor() time.Duration {
+	k := l.proc.kern
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if l.state != LWPOnCPU {
+		return 0
+	}
+	return k.clock.Now() - l.onCPUSince
+}
+
 // Usage returns the LWP's accumulated user and system CPU time.
 func (l *LWP) Usage() (user, sys time.Duration) {
 	k := l.proc.kern

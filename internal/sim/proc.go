@@ -97,6 +97,7 @@ type Process struct {
 	cwd   string
 
 	cpuLimit   Rlimit
+	lwpLimit   int // max live LWPs; 0 is unlimited
 	xcpuSent   bool
 	childUser  time.Duration
 	childSys   time.Duration
@@ -229,6 +230,24 @@ func (p *Process) SetCPULimit(lim Rlimit) {
 	p.cpuLimit = lim
 	p.xcpuSent = false
 	p.kern.mu.Unlock()
+}
+
+// SetLWPLimit installs the process's max-LWP rlimit: NewLWP fails
+// with ErrAgain once the process has n live LWPs. Zero removes the
+// limit. Like the CPU rlimit it is inherited across fork. Lowering
+// the limit below the current LWP count never kills LWPs; it only
+// refuses new ones, exactly as setrlimit does.
+func (p *Process) SetLWPLimit(n int) {
+	p.kern.mu.Lock()
+	p.lwpLimit = n
+	p.kern.mu.Unlock()
+}
+
+// LWPLimit returns the max-LWP rlimit (0 when unlimited).
+func (p *Process) LWPLimit() int {
+	p.kern.mu.Lock()
+	defer p.kern.mu.Unlock()
+	return p.lwpLimit
 }
 
 // Rusage is the aggregated resource usage of a process: the sum of

@@ -441,7 +441,11 @@ func (k *Kernel) killProcLocked(p *Process, status int, sig Signal, core bool) {
 	// Wake every blocked LWP so its animator observes dying and
 	// unwinds; on-CPU LWPs observe it at their next checkpoint, and
 	// runnable LWPs re-check in waitOnCPULocked after the broadcast.
+	// Pull runnables off the run queues first so the dispatcher does
+	// not hand a dying LWP a CPU in the window before its animator
+	// wakes.
 	for _, l := range p.lwps {
+		k.removeRunnableLocked(l)
 		l.cond.Broadcast()
 	}
 	if p.liveLWPs == 0 {

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"sunosmt/internal/chaos"
 )
 
 // PageSize is the simulated page size.
@@ -39,6 +41,15 @@ var (
 	ErrProt = errors.New("vm: protection violation")
 	// ErrInval is returned for malformed requests.
 	ErrInval = errors.New("vm: invalid argument")
+	// ErrNoMem is returned when a carve would exceed the address
+	// space's byte rlimit, or when chaos injects a transient
+	// allocation failure. ENOMEM territory: recoverable, retryable.
+	ErrNoMem = errors.New("vm: address-space limit exceeded (ENOMEM)")
+	// ErrRedZone is returned for a touch of a stack's red-zone guard
+	// page — stack overflow caught at the page below the stack
+	// instead of silent corruption. The threads layer turns it into
+	// a SIGSEGV trap like any other fault.
+	ErrRedZone = errors.New("vm: stack red-zone violation")
 )
 
 var objectIDs atomic.Uint64
@@ -169,6 +180,10 @@ const (
 	// MapFixed places the mapping exactly at the requested
 	// address, unmapping anything in the way.
 	MapFixed
+	// MapRedZone marks a stack guard page: never accessible, and a
+	// touch reports ErrRedZone rather than a plain protection
+	// violation. Set only by MapStack, never by callers of Mmap.
+	MapRedZone
 )
 
 // Segment is one contiguous mapping in an address space.
@@ -194,6 +209,9 @@ type AddressSpace struct {
 	brkBase int64
 	heapObj *Anon
 	mapHint int64
+	mapped  int64 // bytes currently mapped, across all segments
+	limit   int64 // max mapped bytes; 0 is unlimited
+	chaos   *chaos.Source
 	// FaultFn, if set, is called once per first-touched page.
 	faultFn func(major bool)
 }
@@ -223,6 +241,56 @@ func (as *AddressSpace) SetFaultFn(fn func(major bool)) {
 	as.mu.Lock()
 	as.faultFn = fn
 	as.mu.Unlock()
+}
+
+// SetLimit installs the address-space byte rlimit: any carve (Mmap,
+// MapStack, heap growth) that would push the mapped total past n
+// fails with ErrNoMem. Zero removes the limit. Lowering the limit
+// below the current total never unmaps anything; it only refuses
+// growth, exactly as setrlimit(RLIMIT_AS) does.
+func (as *AddressSpace) SetLimit(n int64) {
+	as.mu.Lock()
+	as.limit = n
+	as.mu.Unlock()
+}
+
+// Limit returns the address-space byte rlimit (0 when unlimited).
+func (as *AddressSpace) Limit() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.limit
+}
+
+// Mapped returns the number of bytes currently mapped.
+func (as *AddressSpace) Mapped() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.mapped
+}
+
+// SetChaos wires a fault-injection source into the allocation paths:
+// when it fires, a carve fails with a transient ErrNoMem even below
+// the rlimit. Nil injects nothing.
+func (as *AddressSpace) SetChaos(s *chaos.Source) {
+	as.mu.Lock()
+	as.chaos = s
+	as.mu.Unlock()
+}
+
+// reserveLocked admits a carve of delta new bytes: the chaos source
+// may fail it transiently, and the byte rlimit bounds the total.
+// Shrinking or size-preserving operations (delta <= 0) always pass.
+func (as *AddressSpace) reserveLocked(delta int64) error {
+	if delta <= 0 {
+		return nil
+	}
+	if as.chaos.AllocFail() {
+		return fmt.Errorf("transient allocation failure: %w", ErrNoMem)
+	}
+	if as.limit > 0 && as.mapped+delta > as.limit {
+		return fmt.Errorf("%d mapped + %d > limit %d: %w", as.mapped, delta, as.limit, ErrNoMem)
+	}
+	return nil
 }
 
 func pageRound(n int64) int64 {
@@ -264,8 +332,17 @@ func (as *AddressSpace) Mmap(va, length int64, prot Prot, flags MapFlags, obj Ob
 		if va%PageSize != 0 {
 			return 0, ErrInval
 		}
+		// Admission is judged net of the bytes the fixed mapping
+		// replaces, and before anything is unmapped, so a refused
+		// Mmap leaves the address space untouched.
+		if err := as.reserveLocked(length - as.overlapBytesLocked(va, length)); err != nil {
+			return 0, err
+		}
 		as.unmapLocked(va, length)
 	} else {
+		if err := as.reserveLocked(length); err != nil {
+			return 0, err
+		}
 		va = as.findHoleLocked(length)
 	}
 	seg := &Segment{
@@ -300,6 +377,19 @@ func (as *AddressSpace) findHoleLocked(length int64) int64 {
 	}
 }
 
+// overlapBytesLocked counts the mapped bytes inside [va, va+length).
+func (as *AddressSpace) overlapBytesLocked(va, length int64) int64 {
+	end := va + length
+	var n int64
+	for _, s := range as.segs {
+		lo, hi := max(va, s.Base), min(end, s.end())
+		if lo < hi {
+			n += hi - lo
+		}
+	}
+	return n
+}
+
 func (as *AddressSpace) overlapLocked(va, length int64) *Segment {
 	for _, s := range as.segs {
 		if va < s.end() && s.Base < va+length {
@@ -317,6 +407,7 @@ func (as *AddressSpace) insertLocked(seg *Segment) {
 	as.segs = append(as.segs, nil)
 	copy(as.segs[i+1:], as.segs[i:])
 	as.segs[i] = seg
+	as.mapped += seg.Length
 }
 
 // unmapLocked removes or trims segments overlapping the range.
@@ -329,6 +420,7 @@ func (as *AddressSpace) unmapLocked(va, length int64) {
 			out = append(out, s)
 			continue
 		}
+		as.mapped -= min(end, s.end()) - max(va, s.Base)
 		// Left remainder.
 		if s.Base < va {
 			left := *s
@@ -379,6 +471,9 @@ func (as *AddressSpace) access(va, n int64, want Prot) (*Segment, error) {
 		return nil, ErrInval
 	}
 	s := as.findLocked(va)
+	if s != nil && s.Flags&MapRedZone != 0 {
+		return nil, fmt.Errorf("%w: va %#x under stack base %#x", ErrRedZone, va, s.end())
+	}
 	if s == nil || va+n > s.end() {
 		return nil, fmt.Errorf("%w: va %#x+%d", ErrFault, va, n)
 	}
@@ -430,14 +525,18 @@ func (as *AddressSpace) Resolve(va int64) (Object, int64, error) {
 	return s.obj, s.objOff + (va - s.Base), nil
 }
 
-// Brk sets the break to addr, like brk(2).
+// Brk sets the break to addr, like brk(2). It fails with ErrNoMem
+// when the growth would exceed the address-space rlimit, leaving the
+// break unchanged.
 func (as *AddressSpace) Brk(addr int64) error {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	if addr < as.brkBase {
 		return ErrInval
 	}
-	as.ensureHeapLocked(addr)
+	if err := as.ensureHeapLocked(addr); err != nil {
+		return err
+	}
 	as.brk = addr
 	return nil
 }
@@ -451,18 +550,23 @@ func (as *AddressSpace) Sbrk(delta int64) (int64, error) {
 	if next < as.brkBase {
 		return 0, ErrInval
 	}
-	as.ensureHeapLocked(next)
+	if err := as.ensureHeapLocked(next); err != nil {
+		return 0, err
+	}
 	as.brk = next
 	return old, nil
 }
 
 // ensureHeapLocked keeps a heap segment covering [brkBase, addr).
-func (as *AddressSpace) ensureHeapLocked(addr int64) {
+func (as *AddressSpace) ensureHeapLocked(addr int64) error {
 	need := pageRound(addr - as.brkBase)
 	if need <= 0 {
-		return
+		return nil
 	}
 	if as.heapObj == nil {
+		if err := as.reserveLocked(need); err != nil {
+			return err
+		}
 		as.heapObj = NewAnon(need)
 		seg := &Segment{
 			Base: as.brkBase, Length: need,
@@ -471,17 +575,73 @@ func (as *AddressSpace) ensureHeapLocked(addr int64) {
 			touched: make(map[int64]struct{}),
 		}
 		as.insertLocked(seg)
-		return
+		return nil
 	}
 	// Grow the existing heap segment.
 	for _, s := range as.segs {
 		if s.obj == as.heapObj && s.Base == as.brkBase {
 			if need > s.Length {
+				if err := as.reserveLocked(need - s.Length); err != nil {
+					return err
+				}
+				as.mapped += need - s.Length
 				s.Length = need
 			}
-			return
+			return nil
 		}
 	}
+	return nil
+}
+
+// MapStack carves a thread stack of size bytes guarded below by a
+// red-zone page, the paper's defense against silent stack overflow:
+// stacks grow down, so the first write past the bottom lands on the
+// guard and faults with ErrRedZone (a SIGSEGV at the mt layer)
+// instead of corrupting the neighboring mapping. Returns the base of
+// the usable stack — the guard page sits at base-PageSize. Fails with
+// ErrNoMem past the rlimit; the guard page counts toward the limit
+// like any other mapping.
+func (as *AddressSpace) MapStack(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, ErrInval
+	}
+	size = pageRound(size)
+	total := size + PageSize
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if err := as.reserveLocked(total); err != nil {
+		return 0, err
+	}
+	va := as.findHoleLocked(total)
+	guard := &Segment{
+		Base: va, Length: PageSize, Prot: 0,
+		Flags: MapPrivate | MapRedZone,
+		touched: make(map[int64]struct{}),
+	}
+	guardObj := NewAnon(0)
+	guard.obj, guard.origin = guardObj, guardObj
+	stackObj := NewAnon(size)
+	stack := &Segment{
+		Base: va + PageSize, Length: size,
+		Prot: ProtRead | ProtWrite, Flags: MapPrivate,
+		obj: stackObj, origin: stackObj,
+		touched: make(map[int64]struct{}),
+	}
+	as.insertLocked(guard)
+	as.insertLocked(stack)
+	return stack.Base, nil
+}
+
+// UnmapStack releases a MapStack carve: the stack and its red-zone
+// guard page.
+func (as *AddressSpace) UnmapStack(base, size int64) error {
+	if size <= 0 || base%PageSize != 0 {
+		return ErrInval
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.unmapLocked(base-PageSize, pageRound(size)+PageSize)
+	return nil
 }
 
 // Brk0 returns the current break.
@@ -513,6 +673,9 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 		brk:     as.brk,
 		brkBase: as.brkBase,
 		mapHint: as.mapHint,
+		mapped:  as.mapped,
+		limit:   as.limit, // rlimits are inherited across fork
+		chaos:   as.chaos,
 		faultFn: nil, // the caller wires the child's accounting
 	}
 	for _, s := range as.segs {
@@ -544,4 +707,5 @@ func (as *AddressSpace) Reset() {
 	as.heapObj = nil
 	as.brk = as.brkBase
 	as.mapHint = mapTop
+	as.mapped = 0
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"sunosmt/internal/chaos"
 )
 
 func TestAnonReadBeyondEndIsZero(t *testing.T) {
@@ -390,5 +392,149 @@ func TestSharedMappingRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// --- resource-exhaustion error paths ------------------------------------
+
+func TestMmapLimitENOMEM(t *testing.T) {
+	as := New(nil)
+	base := as.Mapped()
+	as.SetLimit(base + 2*PageSize)
+	va, err := as.Mmap(0, 2*PageSize, ProtRead|ProtWrite, MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One page over the limit: refused with ErrNoMem, space untouched.
+	if _, err := as.Mmap(0, PageSize, ProtRead, MapPrivate, nil, 0); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("over-limit Mmap = %v, want ErrNoMem", err)
+	}
+	if got := as.Mapped(); got != base+2*PageSize {
+		t.Fatalf("refused Mmap changed accounting: %d, want %d", got, base+2*PageSize)
+	}
+	// A fixed remap of an already-mapped range is judged net of the
+	// bytes it replaces, so it fits even with the limit exhausted.
+	if _, err := as.Mmap(va, 2*PageSize, ProtRead, MapPrivate|MapFixed, nil, 0); err != nil {
+		t.Fatalf("fixed remap within limit failed: %v", err)
+	}
+	// Raising the fixed mapping's footprint past the limit is refused
+	// before anything is unmapped.
+	if _, err := as.Mmap(va, 3*PageSize, ProtRead, MapPrivate|MapFixed, nil, 0); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("growing fixed remap = %v, want ErrNoMem", err)
+	}
+	b := make([]byte, 1)
+	if err := as.Read(va, b); err != nil {
+		t.Fatalf("refused fixed remap tore down the old mapping: %v", err)
+	}
+	// Lifting the limit unblocks growth.
+	as.SetLimit(0)
+	if _, err := as.Mmap(0, 16*PageSize, ProtRead, MapPrivate, nil, 0); err != nil {
+		t.Fatalf("Mmap after lifting limit: %v", err)
+	}
+}
+
+func TestMmapTransientAllocFail(t *testing.T) {
+	as := New(nil)
+	cfg := chaos.DefaultConfig(1)
+	cfg.AllocFail = 1000 // every carve fails
+	as.SetChaos(chaos.New(cfg))
+	if _, err := as.Mmap(0, PageSize, ProtRead, MapPrivate, nil, 0); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("chaos Mmap = %v, want ErrNoMem", err)
+	}
+	if _, err := as.MapStack(PageSize); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("chaos MapStack = %v, want ErrNoMem", err)
+	}
+	if _, err := as.Sbrk(PageSize); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("chaos Sbrk = %v, want ErrNoMem", err)
+	}
+	as.SetChaos(nil)
+	if _, err := as.Mmap(0, PageSize, ProtRead, MapPrivate, nil, 0); err != nil {
+		t.Fatalf("Mmap after clearing chaos: %v", err)
+	}
+}
+
+func TestMunmapPartialUnmap(t *testing.T) {
+	as := New(nil)
+	base := as.Mapped()
+	va, err := as.Mmap(0, 4*PageSize, ProtRead|ProtWrite, MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(va, 0); !errors.Is(err, ErrInval) {
+		t.Fatalf("zero-length Munmap = %v, want ErrInval", err)
+	}
+	if err := as.Munmap(va+1, PageSize); !errors.Is(err, ErrInval) {
+		t.Fatalf("unaligned Munmap = %v, want ErrInval", err)
+	}
+	// Punch out the middle two pages: the ends stay mapped, the hole
+	// faults, and the accounting drops by exactly the hole.
+	if err := as.Munmap(va+PageSize, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	if err := as.Write(va, b); err != nil {
+		t.Fatalf("low end unmapped by partial Munmap: %v", err)
+	}
+	if err := as.Write(va+3*PageSize, b); err != nil {
+		t.Fatalf("high end unmapped by partial Munmap: %v", err)
+	}
+	if err := as.Write(va+PageSize, b); !errors.Is(err, ErrFault) {
+		t.Fatalf("hole access = %v, want ErrFault", err)
+	}
+	if got := as.Mapped(); got != base+2*PageSize {
+		t.Fatalf("partial unmap accounting: %d mapped, want %d", got, base+2*PageSize)
+	}
+}
+
+func TestStackRedZoneFault(t *testing.T) {
+	as := New(nil)
+	base := as.Mapped()
+	sp, err := as.MapStack(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Mapped(); got != base+3*PageSize {
+		t.Fatalf("stack+guard accounting: %d, want %d", got, base+3*PageSize)
+	}
+	b := make([]byte, 1)
+	if err := as.Write(sp, b); err != nil {
+		t.Fatalf("stack not writable: %v", err)
+	}
+	// The first byte below the stack lands on the guard page: a
+	// distinguished red-zone fault, for reads and writes both.
+	if err := as.Write(sp-1, b); !errors.Is(err, ErrRedZone) {
+		t.Fatalf("write under stack = %v, want ErrRedZone", err)
+	}
+	if err := as.Read(sp-PageSize, b); !errors.Is(err, ErrRedZone) {
+		t.Fatalf("read in guard page = %v, want ErrRedZone", err)
+	}
+	// Releasing the stack reclaims the guard page with it, and the
+	// former guard address reverts to a plain segmentation fault.
+	if err := as.UnmapStack(sp, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Mapped(); got != base {
+		t.Fatalf("UnmapStack accounting: %d mapped, want %d", got, base)
+	}
+	if err := as.Write(sp-1, b); !errors.Is(err, ErrFault) || errors.Is(err, ErrRedZone) {
+		t.Fatalf("unmapped guard access = %v, want plain ErrFault", err)
+	}
+}
+
+func TestMapStackLimitENOMEM(t *testing.T) {
+	as := New(nil)
+	base := as.Mapped()
+	// Room for the stack but not its guard page: the carve must be
+	// refused as a whole, leaving no half-mapped stack behind.
+	as.SetLimit(base + 2*PageSize)
+	if _, err := as.MapStack(2 * PageSize); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("MapStack past limit = %v, want ErrNoMem", err)
+	}
+	if got := as.Mapped(); got != base {
+		t.Fatalf("refused MapStack leaked: %d mapped, want %d", got, base)
+	}
+	as.SetLimit(base + 3*PageSize)
+	if _, err := as.MapStack(2 * PageSize); err != nil {
+		t.Fatalf("MapStack at exact fit failed: %v", err)
 	}
 }

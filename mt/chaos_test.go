@@ -31,7 +31,7 @@ func chaosSeeds() []uint64 {
 	}
 	n := 100
 	if testing.Short() {
-		n = 12
+		n = 20
 	}
 	seeds := make([]uint64, n)
 	for i := range seeds {

@@ -107,6 +107,20 @@ func (p *Proc) Munmap(t *Thread, va, length int64) error {
 // threads may manipulate the shared address space concurrently.
 func (p *Proc) Sbrk(t *Thread, delta int64) (int64, error) { return p.AS.Sbrk(delta) }
 
+// MapStack carves a thread stack with a red-zone guard page below it,
+// returning the usable base. A store into the guard page faults with
+// ErrRedZone (and MemWrite raises SIGSEGV) instead of silently
+// corrupting the neighbouring mapping — the paper's "red zone" at the
+// bottom of every stack. Fails with ErrNoMem past ASLimitBytes.
+func (p *Proc) MapStack(t *Thread, size int64) (int64, error) {
+	return p.AS.MapStack(size)
+}
+
+// UnmapStack releases a stack carved by MapStack, guard page included.
+func (p *Proc) UnmapStack(t *Thread, base, size int64) error {
+	return p.AS.UnmapStack(base, size)
+}
+
 // MemWrite stores bytes at a virtual address in the process image; a
 // fault raises the SIGSEGV trap on the calling thread.
 func (p *Proc) MemWrite(t *Thread, va int64, b []byte) error {

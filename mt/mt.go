@@ -126,6 +126,25 @@ var (
 	ErrDeadlock = tsync.ErrDeadlock
 )
 
+// Resource-exhaustion errors. Every layer that can run out — the
+// kernel's LWP rlimit, the library's thread cap, transient spawn
+// faults — wraps the one ErrAgain sentinel, so callers write a single
+// errors.Is(err, mt.ErrAgain) regardless of which resource was
+// exhausted, exactly as EAGAIN from thr_create covers both thread and
+// LWP exhaustion in SunOS.
+var (
+	// ErrAgain: a thread or LWP limit was reached, or a transient
+	// allocation failure occurred; retry later (EAGAIN).
+	ErrAgain = core.ErrAgain
+	// ErrNoMem: the address-space byte limit would be exceeded
+	// (ENOMEM) — from Mmap, Sbrk, or stack carving.
+	ErrNoMem = vm.ErrNoMem
+	// ErrRedZone: a load or store touched a stack's red zone (the
+	// guard page below the stack); MemRead/MemWrite also raise
+	// SIGSEGV on the faulting thread.
+	ErrRedZone = vm.ErrRedZone
+)
+
 // Deadlock detection re-exports.
 type (
 	// Deadlock is one detected wait-for cycle.
@@ -248,6 +267,15 @@ type (
 // for the given seed.
 func NewChaos(seed uint64) *ChaosSource {
 	return chaos.New(chaos.DefaultConfig(seed))
+}
+
+// NewFaultChaos returns a chaos source that also injects resource
+// exhaustion: transient LWP-spawn failures, allocation failures in the
+// address space, and stack carve failures. Only safe for workloads
+// that handle ErrAgain/ErrNoMem from Create and the memory calls; the
+// exhaustion sweep uses it to prove failed creates unwind completely.
+func NewFaultChaos(seed uint64) *ChaosSource {
+	return chaos.New(chaos.FaultConfig(seed))
 }
 
 // System is one simulated machine: CPUs, kernel, file system, and the
@@ -454,6 +482,23 @@ type ProcConfig struct {
 	// NoPriorityInheritance disables turnstile priority inheritance
 	// (ablation: demonstrates unbounded priority inversion).
 	NoPriorityInheritance bool
+	// MaxThreads caps live threads in the process; Create fails with
+	// ErrAgain at the cap, the admission-control watermark of a
+	// server that would rather shed a request than thrash. Zero is
+	// unlimited.
+	MaxThreads int
+	// LWPLimit is the process's LWP rlimit: kernel LWP creation
+	// (bound threads, pool growth, SIGWAITING) fails with ErrAgain
+	// once this many LWPs are live. Zero is unlimited.
+	LWPLimit int
+	// ASLimitBytes caps the mapped bytes of the address space; Mmap,
+	// Sbrk and stack carving fail with ErrNoMem past it. Zero is
+	// unlimited.
+	ASLimitBytes int64
+	// WatchdogDeadline sets the deadman watchdog's deadline for
+	// flagging LWPs stuck on-CPU and threads blocked too long
+	// (/proc/<pid>/health, mtstat -health). Zero selects 1s.
+	WatchdogDeadline time.Duration
 }
 
 // Proc is a running UNIX process: kernel process + address space +
@@ -487,6 +532,13 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		p.AS = kp.Mem.(*vm.AddressSpace)
 		p.AS.SetFaultFn(kp.AddFault)
 	}
+	if cfg.LWPLimit > 0 {
+		kp.SetLWPLimit(cfg.LWPLimit)
+	}
+	if cfg.ASLimitBytes > 0 {
+		p.AS.SetLimit(cfg.ASLimitBytes)
+	}
+	p.AS.SetChaos(s.Kern.Chaos())
 	p.RT = core.NewRuntime(s.Kern, kp, core.Config{
 		Trace:                 s.tr,
 		MaxAutoLWPs:           cfg.MaxAutoLWPs,
@@ -494,6 +546,8 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		DefaultStackSize:      cfg.DefaultStackSize,
 		LWPAgeTime:            cfg.LWPAgeTime,
 		NoPriorityInheritance: cfg.NoPriorityInheritance,
+		MaxThreads:            cfg.MaxThreads,
+		WatchdogDeadline:      cfg.WatchdogDeadline,
 		InitialLWP:            initial,
 	})
 	// errno is the canonical unshared variable: register it before
@@ -507,6 +561,25 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		return nil, err
 	}
 	return p, nil
+}
+
+// Deadman-watchdog re-exports (see internal/core/health.go).
+type (
+	// HealthReport is one watchdog pass over a process.
+	HealthReport = core.HealthReport
+	// LWPHealth is one LWP flagged stuck on-CPU.
+	LWPHealth = core.LWPHealth
+	// ThreadHealth is one thread flagged blocked past the deadline.
+	ThreadHealth = core.ThreadHealth
+)
+
+// Health runs one deadman-watchdog pass over the process: LWPs that
+// have held a CPU continuously past the deadline and threads blocked
+// or sleeping past it. deadline <= 0 selects ProcConfig's
+// WatchdogDeadline (default 1s). The same report is readable at
+// /proc/<pid>/health and printed by mtstat -health.
+func (p *Proc) Health(deadline time.Duration) HealthReport {
+	return p.RT.Health(deadline)
 }
 
 // Process exposes the kernel process.

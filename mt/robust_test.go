@@ -568,3 +568,72 @@ func itoa(n int) string {
 	}
 	return string(b[i:])
 }
+
+// TestTsyncMisusePanicContainment: the tsync misuse panics — exiting
+// a mutex the thread does not hold, releasing an unheld rwlock,
+// downgrading without the writer lock — must route through the same
+// panic-as-SIGABRT containment as any application panic: the
+// offending simulated process dies with SIGABRT and the panic text in
+// its abort message, and neither the host binary nor a bystander
+// process is disturbed.
+func TestTsyncMisusePanicContainment(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		body func(p *Proc, tt *Thread)
+	}{
+		{
+			// Only the error-check variant detects the misuse, as on
+			// SunOS; the default variant leaves it undefined.
+			name: "mutex-exit-unheld",
+			want: "mutex_exit of a lock not held",
+			body: func(p *Proc, tt *Thread) {
+				var mu Mutex
+				mu.Init(VariantErrorCheck)
+				mu.Exit(tt)
+			},
+		},
+		{
+			name: "rw-exit-unheld",
+			want: "rw_exit of an unheld lock",
+			body: func(p *Proc, tt *Thread) {
+				var rw RWLock
+				rw.Exit(tt)
+			},
+		},
+		{
+			name: "rw-downgrade-unheld",
+			want: "rw_downgrade without the writer lock",
+			body: func(p *Proc, tt *Thread) {
+				var rw RWLock
+				rw.Enter(tt, RWReader)
+				rw.Downgrade(tt)
+			},
+		},
+	}
+	sys := NewSystem(Options{NCPU: 2})
+	var bystanderRan atomic.Bool
+	bystander := spawn(t, sys, "bystander", ProcConfig{}, func(p *Proc, tt *Thread) {
+		p.Sleep(tt, 5*time.Millisecond)
+		bystanderRan.Store(true)
+	})
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			bad := spawn(t, sys, "misuser-"+tc.name, ProcConfig{}, func(p *Proc, tt *Thread) {
+				tc.body(p, tt)
+				t.Error("misusing thread ran past the misuse")
+			})
+			if _, sig := waitProc(t, bad); sig != SIGABRT {
+				t.Fatalf("exit signal = %v, want SIGABRT", sig)
+			}
+			if msg := bad.Process().AbortMessage(); !strings.Contains(msg, tc.want) {
+				t.Errorf("abort message %q missing %q", msg, tc.want)
+			}
+		})
+	}
+	waitProc(t, bystander)
+	if !bystanderRan.Load() {
+		t.Error("bystander process was disturbed by the misuse aborts")
+	}
+}
