@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5,..,9|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x]
+//	mtbench [-n iterations] [-fig 5,..,10|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x] [-allocs] [-memceiling bytes]
 //
 // -fig 7 is the priority-inversion table (not in the paper): the
 // contended-acquisition triangle with turnstile priority inheritance
@@ -24,6 +24,24 @@
 // threshold, with the deterministic part (steals happen at all)
 // asserted by TestFigure9Smoke instead. -fig accepts a comma list
 // ("5,6,7,8") to support exactly that split.
+//
+// -fig 10 is the scale tier (not in the paper): mass-create of n
+// stopped threads reporting reserved/committed bytes per thread, a
+// thread ring driving n full lifecycles through the shell freelist
+// and stack cache, a pairwise create/sync/exit chain, and a mass
+// broadcast. Memory metrics ride in the per-op encoding (KB as
+// microseconds, like fig 9's steal rate) so the baseline gates them.
+// CI runs the tier at -n 100000 per PR; the nightly job runs the
+// full million with -memceiling gating the ring's peak committed
+// bytes.
+//
+// -allocs appends a host-allocations-per-op column for the rows that
+// collect it (figs 5 and 10) — a coarse whole-scenario count; the
+// precise steady-state zero-alloc claims are pinned by
+// testing.AllocsPerRun tests in internal/core.
+//
+// -memceiling N exits non-zero if the fig-10 thread ring's peak
+// committed bytes exceed N (requires -fig to include 10).
 //
 // -json additionally writes the measured rows as a JSON document (see
 // BENCH_baseline.json for the committed reference run), so successive
@@ -66,6 +84,9 @@ type jsonRow struct {
 	PerOpUS float64 `json:"per_op_us"`
 	TotalNS int64   `json:"total_ns"`
 	Ops     int     `json:"ops"`
+	// AllocsPerOp is the host heap allocations per operation for rows
+	// that collect it; -1 (and omitted) when not measured.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 type jsonDoc struct {
@@ -76,16 +97,37 @@ type jsonDoc struct {
 func toJSONRows(fig int, rows []benchkit.Row) []jsonRow {
 	out := make([]jsonRow, 0, len(rows))
 	for _, r := range rows {
-		out = append(out, jsonRow{
+		jr := jsonRow{
 			Figure:  fig,
 			Name:    r.Name,
 			PaperUS: r.PaperUS,
 			PerOpUS: float64(r.PerOp().Nanoseconds()) / 1e3,
 			TotalNS: r.Measured.Nanoseconds(),
 			Ops:     r.Ops,
-		})
+		}
+		if r.Allocs >= 0 && r.Ops > 0 {
+			jr.AllocsPerOp = float64(r.Allocs) / float64(r.Ops)
+		}
+		out = append(out, jr)
 	}
 	return out
+}
+
+// formatAllocs renders the -allocs column for the rows that collected
+// a count.
+func formatAllocs(rows []benchkit.Row) string {
+	var out string
+	for _, r := range rows {
+		if r.Allocs < 0 || r.Ops == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  %-28s %10.2f allocs/op (%d total)\n",
+			r.Name, float64(r.Allocs)/float64(r.Ops), r.Allocs)
+	}
+	if out == "" {
+		return ""
+	}
+	return "Host allocations (whole scenario, incl. harness):\n" + out
 }
 
 // compareBaseline checks doc against the baseline JSON at path,
@@ -139,12 +181,12 @@ func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, err
 
 // parseFigs turns the -fig value into the set of figures to run:
 // "0" means all, "-1" means none, otherwise a comma-separated list
-// drawn from 5-9 (e.g. "5,6,7,8").
+// drawn from 5-10 (e.g. "5,6,7,8").
 func parseFigs(s string) (map[int]bool, error) {
 	want := make(map[int]bool)
 	switch s {
 	case "0":
-		for f := 5; f <= 9; f++ {
+		for f := 5; f <= 10; f++ {
 			want[f] = true
 		}
 		return want, nil
@@ -153,8 +195,8 @@ func parseFigs(s string) (map[int]bool, error) {
 	}
 	for _, part := range strings.Split(s, ",") {
 		f, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || f < 5 || f > 9 {
-			return nil, fmt.Errorf("-fig must be a comma list from 5-9, 0 (all) or -1 (none); got %q", s)
+		if err != nil || f < 5 || f > 10 {
+			return nil, fmt.Errorf("-fig must be a comma list from 5-10, 0 (all) or -1 (none); got %q", s)
 		}
 		want[f] = true
 	}
@@ -163,11 +205,13 @@ func parseFigs(s string) (map[int]bool, error) {
 
 func main() {
 	n := flag.Int("n", 20000, "iterations per measurement")
-	fig := flag.String("fig", "0", "figures to run: comma list from 5-9, 0 (all) or -1 (none)")
+	fig := flag.String("fig", "0", "figures to run: comma list from 5-10, 0 (all) or -1 (none)")
 	jsonPath := flag.String("json", "", "also write rows as JSON to this file (- for stdout)")
 	basePath := flag.String("baseline", "", "compare against this baseline JSON; exit 1 on regression")
 	threshold := flag.Float64("threshold", 1.5, "per-op regression ratio tolerated by -baseline")
 	traceOverhead := flag.Float64("traceoverhead", 0, "if > 0, gate traced-vs-untraced dispatch latency at this ratio")
+	allocs := flag.Bool("allocs", false, "print host allocations per op for rows that collect them")
+	memCeiling := flag.Int64("memceiling", 0, "if > 0, fail when the fig-10 ring's peak committed bytes exceed this")
 	flag.Parse()
 
 	want, err := parseFigs(*fig)
@@ -175,11 +219,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mtbench:", err)
 		os.Exit(2)
 	}
+	printAllocs := func(rows []benchkit.Row) {
+		if *allocs {
+			if s := formatAllocs(rows); s != "" {
+				fmt.Print(s)
+				fmt.Println()
+			}
+		}
+	}
 	doc := jsonDoc{Iterations: *n}
 	if want[5] {
 		rows := benchkit.Figure5(*n)
 		fmt.Print(benchkit.FormatTable("Figure 5: Thread creation time", rows))
 		fmt.Println()
+		printAllocs(rows)
 		doc.Rows = append(doc.Rows, toJSONRows(5, rows)...)
 	}
 	if want[6] {
@@ -203,7 +256,19 @@ func main() {
 	if want[9] {
 		rows := benchkit.Figure9(*n)
 		fmt.Print(benchkit.FormatTable("Steal rate and cross-CPU wakeup latency (not in paper)", rows))
+		fmt.Println()
 		doc.Rows = append(doc.Rows, toJSONRows(9, rows)...)
+	}
+	var scale *benchkit.ScaleStats
+	if want[10] {
+		rows, stats := benchkit.Figure10(*n)
+		scale = &stats
+		fmt.Print(benchkit.FormatTable(
+			fmt.Sprintf("Thread scale tier, n=%d (not in paper)", stats.Threads), rows))
+		fmt.Printf("  reserved/thread %d B, committed/thread %d B, ring peak committed %d B\n\n",
+			stats.ReservedPerThread, stats.CommittedPerThread, stats.RingPeakCommitted)
+		printAllocs(rows)
+		doc.Rows = append(doc.Rows, toJSONRows(10, rows)...)
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")
@@ -231,6 +296,19 @@ func main() {
 			for _, r := range regressed {
 				fmt.Fprintln(os.Stderr, "  "+r)
 			}
+			os.Exit(1)
+		}
+	}
+	if *memCeiling > 0 {
+		if scale == nil {
+			fmt.Fprintln(os.Stderr, "mtbench: -memceiling requires -fig to include 10")
+			os.Exit(2)
+		}
+		fmt.Printf("Memory ceiling gate: ring peak committed %d B, ceiling %d B\n",
+			scale.RingPeakCommitted, *memCeiling)
+		if scale.RingPeakCommitted > *memCeiling {
+			fmt.Fprintf(os.Stderr, "mtbench: peak committed %d B exceeds ceiling %d B\n",
+				scale.RingPeakCommitted, *memCeiling)
 			os.Exit(1)
 		}
 	}

@@ -631,6 +631,12 @@ type Row struct {
 	PaperUS  float64 // the paper's measurement, microseconds
 	Measured time.Duration
 	Ops      int // operations the Measured total covers
+	// Allocs is the total host heap allocations the scenario
+	// performed (harness setup included), or -1 when not measured.
+	// mtbench -allocs divides by Ops for a coarse per-op column; the
+	// precise steady-state zero-alloc claims are pinned by
+	// testing.AllocsPerRun unit tests in internal/core.
+	Allocs int64
 }
 
 // PerOp returns the measured time per operation.
@@ -651,10 +657,20 @@ func Figure5(n int) []Row {
 	if nb == 0 {
 		nb = 1
 	}
+	ut, ua := countAllocs(func() time.Duration { return UnboundCreate(n) })
+	bt, ba := countAllocs(func() time.Duration { return BoundCreate(nb) })
 	return []Row{
-		{Name: "Unbound thread create", PaperUS: 56, Measured: UnboundCreate(n), Ops: n},
-		{Name: "Bound thread create", PaperUS: 2327, Measured: BoundCreate(nb), Ops: nb},
+		{Name: "Unbound thread create", PaperUS: 56, Measured: ut, Ops: n, Allocs: ua},
+		{Name: "Bound thread create", PaperUS: 2327, Measured: bt, Ops: nb, Allocs: ba},
 	}
+}
+
+// unmeasured marks every row's alloc count as not collected.
+func unmeasured(rows []Row) []Row {
+	for i := range rows {
+		rows[i].Allocs = -1
+	}
+	return rows
 }
 
 // Figure6 runs the synchronization experiment. Each ping-pong round
@@ -664,12 +680,12 @@ func Figure6(n int) []Row {
 	if n <= 0 {
 		n = 20000
 	}
-	return []Row{
+	return unmeasured([]Row{
 		{Name: "Setjmp/longjmp", PaperUS: 59, Measured: SetjmpLongjmp(n), Ops: n},
 		{Name: "Unbound thread sync", PaperUS: 158, Measured: SyncPingPong(n, false), Ops: 2 * n},
 		{Name: "Bound thread sync", PaperUS: 348, Measured: SyncPingPong(n, true), Ops: 2 * n},
 		{Name: "Cross process thread sync", PaperUS: 301, Measured: CrossProcessSync(n), Ops: 2 * n},
-	}
+	})
 }
 
 // Figure7 runs the priority-inversion experiment — not a figure of
@@ -689,10 +705,10 @@ func Figure7(n int) []Row {
 	if nOff == 0 {
 		nOff = 1
 	}
-	return []Row{
+	return unmeasured([]Row{
 		{Name: "Contended enter, inheritance", Measured: PriorityInversion(nOn, true), Ops: nOn},
 		{Name: "Contended enter, inversion", Measured: PriorityInversion(nOff, false), Ops: nOff},
-	}
+	})
 }
 
 // Figure8 runs the dispatch-scaling experiment (not in the paper,
@@ -713,7 +729,7 @@ func Figure8(n int) []Row {
 			Row{Name: fmt.Sprintf("Dispatch NCPU=%d per-CPU shards", ncpu), Measured: sharded, Ops: ops},
 		)
 	}
-	return rows
+	return unmeasured(rows)
 }
 
 // Figure9 runs the steal/wakeup experiment (not in the paper) and
@@ -759,7 +775,7 @@ func Figure9(n int) []Row {
 		median = lat[len(lat)/2]
 	}
 	latRow := Row{Name: "Cross-CPU wakeup latency", Measured: median, Ops: 1}
-	return []Row{rateRow, latRow}
+	return unmeasured([]Row{rateRow, latRow})
 }
 
 // FormatTable renders rows in the paper's format: a time column and a

@@ -66,6 +66,18 @@ type Config struct {
 	// are kept for reuse after their threads exit (default 32) —
 	// the cache behind Figure 5's "default stack" creation time.
 	StackCacheSize int
+	// ThreadCacheSize caps the Runtime's Thread freelist: exited
+	// unwaited (or reaped) threads park their Thread struct, gate
+	// channel, and TSD block here for the next Create to recycle,
+	// making steady-state create/exit allocation-free. Zero selects
+	// the default (1024); negative disables recycling.
+	ThreadCacheSize int
+	// StackMem, if non-nil, carves thread stacks from an address
+	// space (reserve on create, commit on first dispatch) instead of
+	// allocating host memory per stack. mt wires the process's
+	// vm.AddressSpace here so a million mostly-idle threads cost
+	// address space, not committed bytes.
+	StackMem StackMem
 	// DisableSigwaiting turns off automatic LWP creation on
 	// SIGWAITING — the ablation knob for the deadlock-avoidance
 	// experiment.
@@ -140,14 +152,23 @@ type Runtime struct {
 
 	zombies   map[ThreadID]*Thread // THREAD_WAIT zombies awaiting thread_wait
 	anyWC     WaitChan             // thread_wait(0) callers sleep here
-	tsdKeys   []tsdEntry
+	tsdKeys   atomic.Pointer[[]tsdEntry]
 	exitWG    sync.WaitGroup // animator goroutines
 	exitedCh  chan struct{}
 	exitOnce  sync.Once
 	tlsSize   int
 	tlsFrozen bool
 
-	stackCache [][]byte // cached default stacks (paper: Fig 5 uses a cached stack)
+	stackMem   StackMem
+	stackCache []stackSpan // cached default-stack carves (paper: Fig 5 uses a cached stack)
+	tlsCache   [][]byte    // recycled TLS blocks, paired with stackCache
+	tcache     []*Thread   // Thread-struct freelist (zero-alloc create)
+
+	// idleAnim holds the handoff channels of animator goroutines
+	// whose thread has exited: first dispatch hands them a new thread
+	// instead of spawning a goroutine (and paying its closure
+	// allocation). See Runtime.animate.
+	idleAnim []chan *Thread
 }
 
 // poolLWP is one LWP dedicated to running unbound threads.
@@ -186,10 +207,17 @@ func NewRuntime(kern *sim.Kernel, proc *sim.Process, cfg Config) *Runtime {
 	if cfg.StackCacheSize <= 0 {
 		cfg.StackCacheSize = 32
 	}
+	if cfg.ThreadCacheSize == 0 {
+		cfg.ThreadCacheSize = 1024
+	}
+	if cfg.StackMem == nil {
+		cfg.StackMem = newFlatStackMem()
+	}
 	m := &Runtime{
 		kern:     kern,
 		proc:     proc,
 		cfg:      cfg,
+		stackMem: cfg.StackMem,
 		tr:       cfg.Trace,
 		rings:    kern.Rings(),
 		threads:  make(map[ThreadID]*Thread),
@@ -274,8 +302,18 @@ func (m *Runtime) sweepDying() {
 		}
 	}
 	m.disp.clear()
-	m.stackCache = nil // shutdown releases the stack cache
+	// Shutdown releases the recycling caches; a dying process makes
+	// no more threads. Standby animators are told to exit so exitWG
+	// can drain.
+	m.stackCache = nil
+	m.tlsCache = nil
+	m.tcache = nil
+	anims := m.idleAnim
+	m.idleAnim = nil
 	m.mu.Unlock()
+	for _, ch := range anims {
+		ch <- nil // buffered: the animator is parked receiving
+	}
 	for _, t := range parked {
 		select {
 		case t.gate <- struct{}{}: // wakes in park(), observes dying, unwinds
@@ -492,8 +530,11 @@ func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
 	m.rings.Record(pl.l.CurCPU(), trace.EvThreadRun, int(m.proc.PID()), int(pl.l.ID()), int(t.id), 0)
 
 	if first {
-		m.exitWG.Add(1)
-		go t.threadMain()
+		// First dispatch: the thread is about to push its first
+		// frame, so commit the top of its (reserved-only) stack and
+		// give it an animator goroutine (recycled when possible).
+		m.touchStack(t)
+		m.startAnimator(t)
 	}
 	t.grant()
 	<-pl.back // thread parked, exited, or unwound

@@ -88,14 +88,15 @@ func (m *Runtime) Health(deadline time.Duration) HealthReport {
 	m.mu.Lock()
 	now := m.kern.Clock().Now()
 	for _, t := range m.threads {
-		if t.msState != MSLock && t.msState != MSSleep {
+		a := t.aux
+		if a == nil || (a.msState != MSLock && a.msState != MSSleep) {
 			continue
 		}
-		d := now - t.msMark
+		d := now - a.msMark
 		if d <= deadline {
 			continue
 		}
-		th := ThreadHealth{ID: t.id, State: t.msState, StuckFor: d}
+		th := ThreadHealth{ID: t.id, State: a.msState, StuckFor: d}
 		if bi := t.blocked.Load(); bi != nil {
 			th.BlockedOn = bi.Kind + ":" + bi.Name
 		}

@@ -75,22 +75,25 @@ func (mt MicrostateTimes) Sum() time.Duration {
 
 // msInitLocked starts accounting for a newborn thread. Requires m.mu.
 func (t *Thread) msInitLocked(now time.Duration, st Microstate) {
-	t.msBorn, t.msMark, t.msState = now, now, st
+	a := t.auxb()
+	a.msBorn, a.msMark, a.msState = now, now, st
 }
 
 // msSwitchLocked charges the interval since the last transition to
 // the outgoing state and enters st. Requires m.mu; the caller reads
 // the clock once per transition and passes it in.
 func (t *Thread) msSwitchLocked(now time.Duration, st Microstate) {
-	t.msAcc[t.msState] += now - t.msMark
-	t.msMark = now
-	t.msState = st
+	a := t.aux
+	a.msAcc[a.msState] += now - a.msMark
+	a.msMark = now
+	a.msState = st
 }
 
 // msFinalLocked closes accounting at thread death. Requires m.mu.
 func (t *Thread) msFinalLocked(now time.Duration) {
-	t.msAcc[t.msState] += now - t.msMark
-	t.msMark = now
+	a := t.aux
+	a.msAcc[a.msState] += now - a.msMark
+	a.msMark = now
 }
 
 // msParkState maps the library state a thread parks in onto its
@@ -113,14 +116,18 @@ func (t *Thread) Microstates() MicrostateTimes {
 	m := t.m
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	acc := t.msAcc
+	a := t.aux
+	if a == nil {
+		return MicrostateTimes{Dead: t.state == ThreadZombie}
+	}
+	acc := a.msAcc
 	dead := t.state == ThreadZombie
-	now := t.msMark
+	now := a.msMark
 	if !dead {
 		if clk := m.kern.Clock().Now(); clk > now {
 			now = clk
 		}
-		acc[t.msState] += now - t.msMark
+		acc[a.msState] += now - a.msMark
 	}
 	return MicrostateTimes{
 		User:    acc[MSUser],
@@ -128,8 +135,8 @@ func (t *Thread) Microstates() MicrostateTimes {
 		Sleep:   acc[MSSleep],
 		Lock:    acc[MSLock],
 		Stopped: acc[MSStopped],
-		Total:   now - t.msBorn,
-		State:   t.msState,
+		Total:   now - a.msBorn,
+		State:   a.msState,
 		Dead:    dead,
 	}
 }

@@ -305,12 +305,13 @@ func (caller *Thread) Wait(id ThreadID) (ThreadID, error) {
 // reapLocked removes a zombie after a successful wait, reclaiming a
 // library-allocated stack into the cache (a programmer-supplied stack
 // is simply no longer referenced: the caller may reuse it, as the
-// paper specifies).
+// paper specifies) and recycling the Thread shell. The shell is not
+// scrubbed until a later Create pops it, so the waiter's post-mortem
+// handle reads (Microstates, Errno) stay valid until recycling — the
+// same validity window pthread_t gives.
 func (m *Runtime) reapLocked(z *Thread) {
 	delete(m.zombies, z.id)
-	if z.stackOwn && len(m.stackCache) < m.cfg.StackCacheSize {
-		m.stackCache = append(m.stackCache, z.stack)
-	}
+	m.freeThreadLocked(z)
 }
 
 // Stop implements thread_stop(target): it prevents the target from
@@ -350,7 +351,8 @@ func (caller *Thread) Stop(target *Thread) error {
 	// Wait until the target parks itself as stopped at its next
 	// checkpoint. The caller parks; the target's transition wakes
 	// stop-waiters.
-	target.stopWaiters = append(target.stopWaiters, caller)
+	a := target.auxb()
+	a.stopWaiters = append(a.stopWaiters, caller)
 	m.mu.Unlock()
 	if target.bound() {
 		// Bound targets stop via their own checkpoint too; the
@@ -395,8 +397,11 @@ func (m *Runtime) Continue(target *Thread) error {
 func (t *Thread) noteStopped() {
 	m := t.m
 	m.mu.Lock()
-	waiters := t.stopWaiters
-	t.stopWaiters = nil
+	var waiters []*Thread
+	if a := t.aux; a != nil {
+		waiters = a.stopWaiters
+		a.stopWaiters = nil
+	}
 	m.mu.Unlock()
 	m.unparkBatch(waiters)
 }

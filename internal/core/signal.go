@@ -75,7 +75,8 @@ func (caller *Thread) Kill(target *Thread, sig sim.Signal) error {
 		m.mu.Unlock()
 		return ErrNoThread
 	}
-	target.pending = target.pending.Add(sig)
+	a := target.auxb()
+	a.pending = a.pending.Add(sig)
 	masked := target.sigmask.Has(sig)
 	parked := target.state == ThreadSleeping || target.state == ThreadWaiting
 	m.mu.Unlock()
@@ -134,10 +135,11 @@ func (t *Thread) pollSignals() {
 	for {
 		// Thread-directed pending signals.
 		m.mu.Lock()
-		deliverable := t.pending.Minus(t.sigmask)
+		a := t.auxb()
+		deliverable := a.pending.Minus(t.sigmask)
 		sig := deliverable.Lowest()
 		if sig != sim.SIGNONE {
-			t.pending = t.pending.Del(sig)
+			a.pending = a.pending.Del(sig)
 		}
 		m.mu.Unlock()
 		if sig == sim.SIGNONE {
@@ -241,5 +243,8 @@ func (t *Thread) SigSetMaskNoPoll(how sim.SigHow, set sim.Sigset) sim.Sigset {
 func (t *Thread) Pending() sim.Sigset {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
-	return t.pending
+	if a := t.aux; a != nil {
+		return a.pending
+	}
+	return 0
 }

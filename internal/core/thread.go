@@ -172,6 +172,51 @@ type Thread struct {
 	// locks it holds that track ownership); guarded by m.mu.
 	heldTs *Turnstile
 
+	// All fields below are guarded by m.mu unless noted.
+	state      ThreadState
+	prio       int
+	lwp        *poolLWP // while running unbound
+	bndLWP     *sim.LWP // bound threads only; immutable after create
+	started    bool
+	killed     bool
+	preempt    bool
+	stopReq    bool
+	wakePermit bool
+	sigmask    sim.Sigset // also mirrored into the LWP while running
+	errno      int
+
+	// Stack descriptor. Library stacks are reservations in the
+	// process address space (or the built-in flat mapper): stkBase/
+	// stkSize name the carve and stackOwn marks it library-owned.
+	// A caller-supplied stack keeps its bytes in stack.
+	stkBase  int64
+	stkSize  int64
+	stackOwn bool
+	stack    []byte // caller-supplied stack only
+	tls      []byte // thread-local storage block (pooled)
+
+	// aux is the cold half of the thread: TSD slots, wait/exit
+	// bookkeeping, signal pending set, fork continuation, and
+	// microstate accounting. It is split out so the hot scheduling
+	// fields above pack tightly, and it recycles with the shell
+	// through the freelist. Guarded by m.mu unless noted.
+	aux *threadAux
+}
+
+// threadAux holds the demoted cold per-thread state. One block is
+// allocated per shell and scrubbed at reuse (deferred scrub: a
+// retired thread's handle keeps readable microstates until a later
+// create recycles the struct, like pthread_t reuse).
+type threadAux struct {
+	// tsd is the thread-specific-data slot table, indexed by TSDKey.
+	// Owner-thread access only (no lock): see tsd.go.
+	tsd []any
+
+	stopWaiters []*Thread
+	pending     sim.Sigset // thread-directed pending signals
+	forkCont    Func
+	forkArg     any
+
 	// Microstate accounting (see microstate.go): the state being
 	// charged, the virtual time of the last transition, birth time,
 	// and the per-state accumulators. Guarded by m.mu.
@@ -179,29 +224,16 @@ type Thread struct {
 	msMark  time.Duration
 	msBorn  time.Duration
 	msAcc   [NumMicrostates]time.Duration
+}
 
-	// All fields below are guarded by m.mu unless noted.
-	state       ThreadState
-	prio        int
-	lwp         *poolLWP // while running unbound
-	bndLWP      *sim.LWP // bound threads only; immutable after create
-	started     bool
-	killed      bool
-	preempt     bool
-	stopReq     bool
-	wakePermit  bool
-	stopWaiters []*Thread
-	sigmask     sim.Sigset // also mirrored into the LWP while running
-	pending     sim.Sigset // thread-directed pending signals
-	errno       int
-	forkCont    Func
-	forkArg     any
-	tsd         map[TSDKey]any
-	tls         []byte
-	stack       []byte
-	stackOwn    bool // stack came from the library cache
-	waitedBy    *Thread
-	exitCh      chan struct{}
+// auxb returns the thread's aux block, allocating it if the thread
+// has never had one. Threads obtained through Create always have one;
+// the allocation covers zero-value handles defensively.
+func (t *Thread) auxb() *threadAux {
+	if t.aux == nil {
+		t.aux = &threadAux{}
+	}
+	return t.aux
 }
 
 // ID implements thread_get_id for this thread handle.
@@ -249,7 +281,10 @@ func (t *Thread) grant() { t.gate <- struct{}{} }
 // Create implements thread_create: it allocates the thread and makes
 // it runnable (or stopped, with ThreadStop). Creation of an unbound
 // thread involves no kernel call — the property behind the 42x ratio
-// in the paper's Figure 5.
+// in the paper's Figure 5 — and in steady state no heap allocation
+// either: the shell, its gate channel, its TSD/microstate block, its
+// TLS block, and its stack reservation all come from the runtime's
+// freelists, refilled by exiting threads.
 func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("core: nil thread function")
@@ -264,35 +299,27 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 		return nil, fmt.Errorf("core: %d live threads at cap %d: %w", m.nlive, m.cfg.MaxThreads, ErrAgain)
 	}
 	m.tlsFrozen = true
-	m.nextID++
-	t := &Thread{
-		m:      m,
-		id:     m.nextID,
-		flags:  opts.Flags,
-		fn:     fn,
-		arg:    arg,
-		gate:   make(chan struct{}, 1),
-		prio:   1,
-		waitWC: AllocWaitChan(),
-		exitCh: make(chan struct{}),
-	}
-	if opts.Priority > 0 {
-		t.prio = opts.Priority
-	}
-	t.effPrio.Store(int32(t.prio))
-	t.shard.Store(-1) // first enqueue places round-robin
-	// Stack: caller-supplied, else from the library's cache. TLS
-	// is placed in the stack allocation so the library does not
-	// interfere with the application's memory allocator.
+	// Stack: caller-supplied, else a reservation from the library's
+	// cache (TLS lives in its own pooled block; a caller-supplied
+	// stack carries TLS at its top so the library never calls malloc
+	// on the caller's behalf).
 	tlsSize := m.tlsSize
+	var (
+		span  stackSpan
+		stack []byte
+		tls   []byte
+		own   bool
+	)
 	switch {
 	case opts.Stack != nil:
-		t.stack = opts.Stack
-		if len(t.stack) < tlsSize {
+		stack = opts.Stack
+		if len(stack) < tlsSize {
 			m.mu.Unlock()
-			return nil, fmt.Errorf("core: stack smaller than thread-local storage (%d < %d)", len(t.stack), tlsSize)
+			return nil, fmt.Errorf("core: stack smaller than thread-local storage (%d < %d)", len(stack), tlsSize)
 		}
-		t.tls = t.stack[len(t.stack)-tlsSize:]
+		if tlsSize > 0 {
+			tls = stack[len(stack)-tlsSize:]
+		}
 	default:
 		size := opts.StackSize
 		if size <= 0 {
@@ -302,16 +329,33 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("core: transient stack allocation failure: %w", ErrAgain)
 		}
-		t.stack = m.stackFromCacheLocked(size + tlsSize)
-		t.stackOwn = true
-		t.tls = t.stack[len(t.stack)-tlsSize:]
-		if tlsSize == 0 {
-			t.tls = nil
+		var err error
+		span, err = m.stackFromCacheLocked(int64(size))
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
 		}
+		own = true
+		tls = m.tlsFromCacheLocked()
 	}
-	for i := range t.tls {
-		t.tls[i] = 0 // TLS starts zeroed (paper)
+	clear(tls) // TLS starts zeroed (paper)
+	t := m.allocThreadLocked()
+	m.nextID++
+	t.m = m
+	t.id = m.nextID
+	t.flags = opts.Flags
+	t.fn = fn
+	t.arg = arg
+	t.prio = 1
+	if opts.Priority > 0 {
+		t.prio = opts.Priority
 	}
+	t.effPrio.Store(int32(t.prio))
+	t.shard.Store(-1) // first enqueue places round-robin
+	t.stack = stack
+	t.stkBase, t.stkSize = span.base, span.size
+	t.stackOwn = own
+	t.tls = tls
 	m.threads[t.id] = t
 	m.nlive++
 	if opts.Flags&ThreadDaemon != 0 {
@@ -362,9 +406,9 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 // LWP-acquiring tail of Create refused). The thread never ran and was
 // never enqueued, so unwinding is pure deregistration: close its
 // microstate interval, drop it from the thread table, and return its
-// library stack to the cache. Afterwards no runq link, sleepq link,
-// turnstile, TLS block, or lock-graph vertex refers to it — the
-// invariant the exhaustion chaos sweep asserts.
+// stack, TLS block, and shell to the freelists. Afterwards no runq
+// link, sleepq link, turnstile, TLS block, or lock-graph vertex
+// refers to it — the invariant the exhaustion chaos sweep asserts.
 func (m *Runtime) uncreate(t *Thread) {
 	m.mu.Lock()
 	t.state = ThreadZombie
@@ -374,22 +418,8 @@ func (m *Runtime) uncreate(t *Thread) {
 	if t.flags&ThreadDaemon != 0 {
 		m.ndaemon--
 	}
-	if t.stackOwn && len(m.stackCache) < m.cfg.StackCacheSize {
-		m.stackCache = append(m.stackCache, t.stack)
-	}
+	m.freeThreadLocked(t)
 	m.mu.Unlock()
-	close(t.exitCh)
-}
-
-// stackFromCacheLocked reuses a cached default stack when one fits.
-func (m *Runtime) stackFromCacheLocked(size int) []byte {
-	for i, s := range m.stackCache {
-		if len(s) >= size {
-			m.stackCache = append(m.stackCache[:i], m.stackCache[i+1:]...)
-			return s
-		}
-	}
-	return make([]byte, size)
 }
 
 // enqueue makes an unbound thread runnable and finds it an LWP.
@@ -431,15 +461,18 @@ func (m *Runtime) flagPreemptionLocked(prio int) {
 	}
 }
 
-// threadMain is the goroutine body of an unbound thread.
-func (t *Thread) threadMain() {
-	defer t.m.exitWG.Done()
+// threadMain runs one incarnation of an unbound thread on the calling
+// animator goroutine. It reports whether the goroutine may animate
+// another thread afterwards: true after a normal retire, false when a
+// kernel unwind (process death, exec) tore through the body.
+func (t *Thread) threadMain() (reusable bool) {
 	defer t.releaseOnUnwind()
 	<-t.gate // first dispatch
 	t.checkKilledPanic()
 	t.pollSignals()
 	t.callBody()
 	t.retire()
+	return true
 }
 
 // callBody runs the thread function, turning Thread.Exit's panic into
@@ -526,6 +559,7 @@ func (t *Thread) boundMain() {
 	m := t.m
 	m.kern.Start(t.bndLWP)
 	m.kern.SetLWPMask(t.bndLWP, sim.SigSetMask, t.mask())
+	m.touchStack(t) // first frame: commit the top of the stack carve
 	m.mu.Lock()
 	stopped := t.stopReq
 	if !stopped {
@@ -851,7 +885,10 @@ func (t *Thread) Exit() {
 type threadExitPanic struct{ t *Thread }
 
 // retire is the common end-of-life path, run on the thread's own
-// goroutine after its body returns (or Exit unwinds).
+// goroutine after its body returns (or Exit unwinds). In steady state
+// it allocates nothing: the single thread_wait waiter is dequeued in
+// place, and an unwaited thread's stack, TLS, and shell go straight
+// back to the freelists.
 func (t *Thread) retire() {
 	t.runTSDDestructors()
 	m := t.m
@@ -861,6 +898,7 @@ func (t *Thread) retire() {
 		return
 	}
 	t.state = ThreadZombie
+	t.onCPU.Store(false)
 	t.msFinalLocked(m.kern.Clock().Now())
 	m.dropTurnstilesLocked(t)
 	pl := t.lwp
@@ -870,28 +908,44 @@ func (t *Thread) retire() {
 	if t.flags&ThreadDaemon != 0 {
 		m.ndaemon--
 	}
+	last := m.nlive-m.ndaemon == 0 && !m.dying.Load()
+	id := t.id
+	bound := t.bound()
+	bl := t.bndLWP
+	var single *Thread
 	var wake []*Thread
 	if t.flags&ThreadWait != 0 {
+		// The shell lives on as a zombie until thread_wait reaps it.
+		// At most one waiter can be parked on waitWC (double waits
+		// are ErrDoubleWait), so a single dequeue suffices.
 		m.zombies[t.id] = t
-		wake = t.waitWC.DequeueAll()
-		wake = append(wake, m.anyWC.DequeueAll()...)
-	} else if t.stackOwn && len(m.stackCache) < m.cfg.StackCacheSize {
-		// Default stacks are cached by the threads package
-		// (paper, Figure 5 setup).
-		m.stackCache = append(m.stackCache, t.stack)
+		single = t.waitWC.DequeueOne()
+		wake = m.anyWC.DequeueAll()
+	} else {
+		// Never waited for: recycle everything now. After this point
+		// t may be handed to a concurrent Create, so only the locals
+		// above are used below. The last thread's shell is kept out
+		// of the freelist — its process-exit unwind still inspects t
+		// in releaseOnUnwind/threadGone.
+		m.releaseStackLocked(t)
+		if !last {
+			m.pushFreeLocked(t)
+		}
 	}
-	last := m.nlive-m.ndaemon == 0 && !m.dying.Load()
 	m.mu.Unlock()
-	t.onCPU.Store(false)
-	close(t.exitCh)
-	m.tr.Add("thread", "thread %d exits", t.id)
+	if m.tr != nil {
+		m.tr.Add("thread", "thread %d exits", id)
+	}
+	if single != nil {
+		m.unparkInto(single)
+	}
 	m.unparkBatch(wake)
 	if last && !m.proc.Dying() {
 		// The last non-daemon thread exited: the process exits,
 		// destroying all LWPs. The kernel unwind is caught by
 		// releaseOnUnwind, which hands the LWP back to its
 		// dispatcher for its own unwinding.
-		l := t.bndLWP
+		l := bl
 		if l == nil && pl != nil {
 			l = pl.l
 		}
@@ -900,7 +954,7 @@ func (t *Thread) retire() {
 		}
 		return
 	}
-	if t.bound() {
+	if bound {
 		return // boundMain's defer retires the LWP
 	}
 	if pl != nil {
@@ -926,8 +980,9 @@ func (t *Thread) ExitProcess(status int) {
 // not reappear in the child (see DESIGN.md).
 func (t *Thread) SetForkContinuation(fn Func, arg any) {
 	t.m.mu.Lock()
-	t.forkCont = fn
-	t.forkArg = arg
+	a := t.auxb()
+	a.forkCont = fn
+	a.forkArg = arg
 	t.m.mu.Unlock()
 }
 
@@ -935,7 +990,8 @@ func (t *Thread) SetForkContinuation(fn Func, arg any) {
 func (t *Thread) ForkContinuation() (Func, any) {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
-	return t.forkCont, t.forkArg
+	a := t.auxb()
+	return a.forkCont, a.forkArg
 }
 
 // Exec implements the thread side of exec(2): it detaches the calling
@@ -994,5 +1050,4 @@ func (m *Runtime) threadGone(t *Thread) {
 	// parked on a primitive when the process died); unlink it so the
 	// global sharded table does not retain it.
 	sleepqDetach(t)
-	close(t.exitCh)
 }

@@ -4,10 +4,18 @@ import "fmt"
 
 // This file implements POSIX-style thread-specific data, the "more
 // dynamic mechanism" the paper says "can be built using thread-local
-// storage". Keys are created process-wide with an optional
-// destructor; each thread carries its own value slot per key (the
-// per-thread anchor is the thread's TLS block); destructors run, in
-// unspecified key order, when a thread exits voluntarily.
+// storage". Keys are created process-wide with an optional destructor;
+// each thread carries a value slot per key in its aux block;
+// destructors run, in ascending key order, when a thread exits
+// voluntarily.
+//
+// Concurrency: the key table is published copy-on-write through an
+// atomic pointer, so SetSpecific/GetSpecific validate keys against an
+// immutable snapshot while CreateTSDKey appends under m.mu. A thread's
+// value slots are touched only by that thread (or, for the destructor
+// sweep and the recycling scrub, after it can no longer run), so slot
+// access takes no lock at all — the hot path is allocation- and
+// lock-free.
 
 // TSDKey names one item of thread-specific data.
 type TSDKey int
@@ -17,55 +25,80 @@ type tsdEntry struct {
 	destructor func(value any)
 }
 
+// tsdSnapshot returns the current immutable key table (nil before the
+// first CreateTSDKey).
+func (m *Runtime) tsdSnapshot() []tsdEntry {
+	if p := m.tsdKeys.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // CreateTSDKey allocates a new key (pthread_key_create). Unlike TLS
 // registration, keys may be created at any time — the dynamism the
 // paper contrasts with the frozen-size #pragma unshared storage.
 func (m *Runtime) CreateTSDKey(destructor func(value any)) TSDKey {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.tsdKeys = append(m.tsdKeys, tsdEntry{destructor: destructor})
-	return TSDKey(len(m.tsdKeys) - 1)
+	old := m.tsdSnapshot()
+	next := make([]tsdEntry, len(old)+1)
+	copy(next, old)
+	next[len(old)] = tsdEntry{destructor: destructor}
+	m.tsdKeys.Store(&next)
+	return TSDKey(len(next) - 1)
 }
 
-// SetSpecific binds a value to (thread, key), like
-// pthread_setspecific.
+// SetSpecific binds a value to (thread, key), like pthread_setspecific.
+// Called by the owning thread; nil clears the slot.
 func (t *Thread) SetSpecific(k TSDKey, v any) error {
-	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if int(k) < 0 || int(k) >= len(m.tsdKeys) {
+	if int(k) < 0 || int(k) >= len(t.m.tsdSnapshot()) {
 		return fmt.Errorf("core: bad TSD key %d", int(k))
 	}
-	if t.tsd == nil {
-		t.tsd = make(map[TSDKey]any)
+	a := t.auxb()
+	if int(k) >= len(a.tsd) {
+		if v == nil {
+			return nil // clearing an unset slot
+		}
+		n := int(k) + 1
+		if n <= cap(a.tsd) {
+			// Regrow into recycled capacity: scrub cleared the full
+			// capacity, so the exposed slots are all nil.
+			a.tsd = a.tsd[:n]
+		} else {
+			grown := make([]any, n)
+			copy(grown, a.tsd)
+			a.tsd = grown
+		}
 	}
-	if v == nil {
-		delete(t.tsd, k)
-	} else {
-		t.tsd[k] = v
-	}
+	a.tsd[k] = v
 	return nil
 }
 
 // GetSpecific returns the calling thread's value for the key, or nil.
 func (t *Thread) GetSpecific(k TSDKey) any {
-	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return t.tsd[k]
+	a := t.aux
+	if a == nil || int(k) < 0 || int(k) >= len(a.tsd) {
+		return nil
+	}
+	return a.tsd[k]
 }
 
-// runTSDDestructors runs the exiting thread's destructors on its
-// bound values. Runs on the thread's own goroutine, outside m.mu.
+// runTSDDestructors runs the exiting thread's destructors on its bound
+// values in ascending key order, clearing each slot before its
+// destructor runs (pthread semantics: the value is unbound first).
+// Runs on the thread's own goroutine, outside m.mu.
 func (t *Thread) runTSDDestructors() {
-	m := t.m
-	m.mu.Lock()
-	vals := t.tsd
-	t.tsd = nil
-	keys := m.tsdKeys
-	m.mu.Unlock()
-	for k, v := range vals {
-		if int(k) < len(keys) && keys[k].destructor != nil {
+	a := t.aux
+	if a == nil || len(a.tsd) == 0 {
+		return
+	}
+	keys := t.m.tsdSnapshot()
+	for k, v := range a.tsd {
+		if v == nil {
+			continue
+		}
+		a.tsd[k] = nil
+		if k < len(keys) && keys[k].destructor != nil {
 			keys[k].destructor(v)
 		}
 	}

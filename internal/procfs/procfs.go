@@ -38,6 +38,7 @@ import (
 	"sunosmt/internal/core"
 	"sunosmt/internal/sim"
 	"sunosmt/internal/vfs"
+	"sunosmt/internal/vm"
 )
 
 // ProcFS serves /proc for one kernel.
@@ -123,6 +124,16 @@ func (pfs *ProcFS) procStatus(p *sim.Process) []byte {
 	fmt.Fprintf(&sb, "stime:\t%v\n", r.SysTime)
 	fmt.Fprintf(&sb, "minflt:\t%d\n", r.MinorFaults)
 	fmt.Fprintf(&sb, "majflt:\t%d\n", r.MajorFaults)
+	// Address-space accounting under the reserve/commit split:
+	// vmres is carved address space (vsize), vmcom the first-touch
+	// committed bytes (the simulated RSS), vmpeak its high-water
+	// mark. A million idle threads show a large vmres and a tiny
+	// vmcom — the overcommit the lazily-committed stacks buy.
+	if as, ok := p.Mem.(*vm.AddressSpace); ok && as != nil {
+		fmt.Fprintf(&sb, "vmres:\t%d\n", as.Reserved())
+		fmt.Fprintf(&sb, "vmcom:\t%d\n", as.Committed())
+		fmt.Fprintf(&sb, "vmpeak:\t%d\n", as.PeakCommitted())
+	}
 	return []byte(sb.String())
 }
 

@@ -1,0 +1,62 @@
+package procfs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sunosmt/internal/sim"
+	"sunosmt/internal/vfs"
+	"sunosmt/internal/vm"
+)
+
+// TestProcStatusMemoryAccounting: /proc/<pid>/status reports the
+// reserve/commit split — vmres (carved address space), vmcom
+// (first-touch committed bytes), vmpeak (committed high-water mark).
+func TestProcStatusMemoryAccounting(t *testing.T) {
+	k := sim.NewKernel(sim.Config{NCPU: 1})
+	fs := vfs.NewFS(k)
+	pfs, err := Mount(k, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := k.NewProcess("memproc", nil)
+	as := vm.New(target.AddFault)
+	target.Mem = as
+	const stk = 64 << 10
+	base, err := as.MapStack(stk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.TouchStack(base, stk); err != nil {
+		t.Fatal(err)
+	}
+	if err := pfs.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	obs := k.NewProcess("mdb", nil)
+	opf := vfs.NewProcFiles(fs, obs)
+	l, _ := k.NewLWP(obs, sim.ClassTS, 30)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover(); k.ExitLWP(l) }()
+		k.Start(l)
+		status := readAll(t, k, opf, l, "/proc/"+itoa(int(target.PID()))+"/status")
+		for _, want := range []string{
+			fmt.Sprintf("vmres:\t%d\n", as.Reserved()),
+			fmt.Sprintf("vmcom:\t%d\n", as.Committed()),
+			fmt.Sprintf("vmpeak:\t%d\n", as.PeakCommitted()),
+		} {
+			if !strings.Contains(status, want) {
+				t.Errorf("status missing %q:\n%s", want, status)
+			}
+		}
+	}()
+	<-done
+	if as.Committed() == 0 || as.Reserved() <= as.Committed() {
+		t.Errorf("test precondition: Reserved %d, Committed %d; want 0 < committed < reserved",
+			as.Reserved(), as.Committed())
+	}
+}

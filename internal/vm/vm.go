@@ -15,6 +15,14 @@
 //     same time via mmap/brk/sbrk, so every operation here is safe
 //     for concurrent use.
 //
+// The space distinguishes reserved from committed bytes. A carve
+// (Mmap, MapStack, heap growth) reserves address space; pages are
+// committed on first touch. Stack carves commit lazily in
+// chunk-granular steps growing down toward the red zone, so a mostly
+// idle thread costs kilobytes of committed memory against a much
+// larger reservation. SetLimit bounds reservations (RLIMIT_AS);
+// SetCommitLimit bounds committed bytes.
+//
 // Addresses are int64 byte offsets in a simulated 63-bit address
 // space; there is no connection to Go pointers.
 package vm
@@ -22,6 +30,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +39,12 @@ import (
 
 // PageSize is the simulated page size.
 const PageSize = 4096
+
+// commitChunk is the granularity of lazy stack commit: a first touch
+// below a stack's commit watermark commits down to the enclosing
+// chunk boundary, pre-faulting the pages in between, so a growing
+// stack takes one fault per chunk rather than one per page.
+const commitChunk = 4 * PageSize
 
 // Errors returned by address-space operations.
 var (
@@ -42,7 +57,8 @@ var (
 	// ErrInval is returned for malformed requests.
 	ErrInval = errors.New("vm: invalid argument")
 	// ErrNoMem is returned when a carve would exceed the address
-	// space's byte rlimit, or when chaos injects a transient
+	// space's byte rlimit, when a first touch would exceed the
+	// committed-byte rlimit, or when chaos injects a transient
 	// allocation failure. ENOMEM territory: recoverable, retryable.
 	ErrNoMem = errors.New("vm: address-space limit exceeded (ENOMEM)")
 	// ErrRedZone is returned for a touch of a stack's red-zone guard
@@ -138,6 +154,106 @@ func (a *Anon) WriteObject(b []byte, off int64) error {
 	return nil
 }
 
+// SparseAnon is demand-zero anonymous memory that materializes host
+// bytes only for chunks that are actually written. Stack carves use
+// it so a million reserved-but-idle stacks cost nothing until
+// touched: reads of unwritten ranges return zeroes without allocating
+// backing store.
+type SparseAnon struct {
+	id     uint64
+	mu     sync.Mutex
+	size   int64
+	chunks map[int64][]byte // chunk index -> commitChunk bytes
+}
+
+// NewSparseAnon creates a sparse demand-zero object of the given
+// nominal size. No backing bytes are allocated until the first write.
+func NewSparseAnon(size int64) *SparseAnon {
+	return &SparseAnon{id: NextObjectID(), size: size}
+}
+
+// ObjectID implements Object.
+func (a *SparseAnon) ObjectID() uint64 { return a.id }
+
+// ObjectSize implements Object.
+func (a *SparseAnon) ObjectSize() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.size
+}
+
+// FileBacked implements Object.
+func (a *SparseAnon) FileBacked() bool { return false }
+
+// ReadObject implements Object: unwritten ranges read as zeroes.
+func (a *SparseAnon) ReadObject(b []byte, off int64) error {
+	if off < 0 {
+		return ErrInval
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for n := int64(0); n < int64(len(b)); {
+		p := off + n
+		ci := p / commitChunk
+		co := p % commitChunk
+		span := min(commitChunk-co, int64(len(b))-n)
+		if c, ok := a.chunks[ci]; ok {
+			copy(b[n:n+span], c[co:])
+		} else {
+			clear(b[n : n+span])
+		}
+		n += span
+	}
+	return nil
+}
+
+// WriteObject implements Object, materializing chunks on demand and
+// growing the nominal size if needed.
+func (a *SparseAnon) WriteObject(b []byte, off int64) error {
+	if off < 0 {
+		return ErrInval
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if need := off + int64(len(b)); need > a.size {
+		a.size = need
+	}
+	for n := int64(0); n < int64(len(b)); {
+		p := off + n
+		ci := p / commitChunk
+		co := p % commitChunk
+		span := min(commitChunk-co, int64(len(b))-n)
+		c, ok := a.chunks[ci]
+		if !ok {
+			c = make([]byte, commitChunk)
+			if a.chunks == nil {
+				a.chunks = make(map[int64][]byte)
+			}
+			a.chunks[ci] = c
+		}
+		copy(c[co:], b[n:n+span])
+		n += span
+	}
+	return nil
+}
+
+// clone duplicates the sparse object chunk-by-chunk (fork of a
+// private stack mapping): only materialized chunks are copied.
+func (a *SparseAnon) clone() *SparseAnon {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c := NewSparseAnon(a.size)
+	if len(a.chunks) > 0 {
+		c.chunks = make(map[int64][]byte, len(a.chunks))
+		for ci, data := range a.chunks {
+			dup := make([]byte, len(data))
+			copy(dup, data)
+			c.chunks[ci] = dup
+		}
+	}
+	return c
+}
+
 // snapshot returns a private copy of the object's current contents,
 // used for MAP_PRIVATE and fork.
 func snapshot(o Object) (*Anon, error) {
@@ -186,6 +302,12 @@ const (
 	MapRedZone
 )
 
+// guardObj backs every red-zone guard page. Guards are never
+// readable or writable, so one zero-length object shared by all
+// address spaces suffices — a million stacks carry no per-guard
+// allocation.
+var guardObj = NewAnon(0)
+
 // Segment is one contiguous mapping in an address space.
 type Segment struct {
 	Base   int64
@@ -195,23 +317,36 @@ type Segment struct {
 	obj    Object // the store target (private copy for MapPrivate)
 	origin Object // the originally mapped object (== obj when shared)
 	objOff int64
-	// touched tracks first-touch pages for fault accounting.
+	// touched tracks first-touch pages for fault accounting,
+	// allocated lazily on the first touch and keyed by absolute
+	// page number (so split remainders can keep sharing it).
 	touched map[int64]struct{}
+	// stack marks a lazily-committed stack carve: pages in
+	// [commitLow, end) are committed; a touch below the watermark
+	// commits down in commitChunk steps toward the red zone.
+	stack     bool
+	commitLow int64
 }
 
 func (s *Segment) end() int64 { return s.Base + s.Length }
 
 // AddressSpace is a process's simulated address space.
 type AddressSpace struct {
-	mu      sync.Mutex
-	segs    []*Segment // sorted by Base
-	brk     int64
-	brkBase int64
-	heapObj *Anon
-	mapHint int64
-	mapped  int64 // bytes currently mapped, across all segments
-	limit   int64 // max mapped bytes; 0 is unlimited
-	chaos   *chaos.Source
+	mu sync.Mutex
+	// segs is sorted by descending Base: mmap carves walk down from
+	// mapTop, so fresh carves append at the tail in O(1) and lookups
+	// binary-search. Segments never overlap.
+	segs        []*Segment
+	brk         int64
+	brkBase     int64
+	heapObj     *Anon
+	mapHint     int64
+	mapped      int64 // bytes reserved, across all segments
+	committed   int64 // bytes committed by first touch
+	peakCommit  int64 // high-water mark of committed
+	limit       int64 // max reserved bytes; 0 is unlimited
+	commitLimit int64 // max committed bytes; 0 is unlimited
+	chaos       *chaos.Source
 	// FaultFn, if set, is called once per first-touched page.
 	faultFn func(major bool)
 }
@@ -244,7 +379,7 @@ func (as *AddressSpace) SetFaultFn(fn func(major bool)) {
 }
 
 // SetLimit installs the address-space byte rlimit: any carve (Mmap,
-// MapStack, heap growth) that would push the mapped total past n
+// MapStack, heap growth) that would push the reserved total past n
 // fails with ErrNoMem. Zero removes the limit. Lowering the limit
 // below the current total never unmaps anything; it only refuses
 // growth, exactly as setrlimit(RLIMIT_AS) does.
@@ -261,11 +396,50 @@ func (as *AddressSpace) Limit() int64 {
 	return as.limit
 }
 
-// Mapped returns the number of bytes currently mapped.
+// SetCommitLimit installs the committed-byte rlimit: a first touch
+// that would push the committed total past n faults with ErrNoMem
+// (the threads layer turns it into a SIGSEGV trap, like running out
+// of swap). Zero removes the limit. Reservations are unaffected —
+// overcommit is the point of the reserve/commit split.
+func (as *AddressSpace) SetCommitLimit(n int64) {
+	as.mu.Lock()
+	as.commitLimit = n
+	as.mu.Unlock()
+}
+
+// CommitLimit returns the committed-byte rlimit (0 when unlimited).
+func (as *AddressSpace) CommitLimit() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.commitLimit
+}
+
+// Mapped returns the number of bytes currently reserved.
 func (as *AddressSpace) Mapped() int64 {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	return as.mapped
+}
+
+// Reserved is Mapped under its modern name: bytes of address space
+// carved, whether or not any page has been touched.
+func (as *AddressSpace) Reserved() int64 { return as.Mapped() }
+
+// Committed returns the bytes committed by first touch — the
+// simulated resident footprint, always <= Reserved().
+func (as *AddressSpace) Committed() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.committed
+}
+
+// PeakCommitted returns the high-water mark of Committed() over the
+// address space's lifetime (since the last Reset). The 1M-thread
+// bench tier gates its memory ceiling on this.
+func (as *AddressSpace) PeakCommitted() int64 {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.peakCommit
 }
 
 // SetChaos wires a fault-injection source into the allocation paths:
@@ -348,7 +522,6 @@ func (as *AddressSpace) Mmap(va, length int64, prot Prot, flags MapFlags, obj Ob
 	seg := &Segment{
 		Base: va, Length: length, Prot: prot, Flags: flags,
 		obj: obj, origin: origin, objOff: objOff,
-		touched: make(map[int64]struct{}),
 	}
 	as.insertLocked(seg)
 	return va, nil
@@ -377,11 +550,23 @@ func (as *AddressSpace) findHoleLocked(length int64) int64 {
 	}
 }
 
-// overlapBytesLocked counts the mapped bytes inside [va, va+length).
+// searchLocked returns the index of the first segment with
+// Base <= va in the descending-Base order (len(segs) if none).
+func (as *AddressSpace) searchLocked(va int64) int {
+	return sort.Search(len(as.segs), func(i int) bool {
+		return as.segs[i].Base <= va
+	})
+}
+
+// overlapBytesLocked counts the reserved bytes inside [va, va+length).
 func (as *AddressSpace) overlapBytesLocked(va, length int64) int64 {
 	end := va + length
 	var n int64
-	for _, s := range as.segs {
+	for i := as.searchLocked(end - 1); i < len(as.segs); i++ {
+		s := as.segs[i]
+		if s.end() <= va {
+			break
+		}
 		lo, hi := max(va, s.Base), min(end, s.end())
 		if lo < hi {
 			n += hi - lo
@@ -390,20 +575,25 @@ func (as *AddressSpace) overlapBytesLocked(va, length int64) int64 {
 	return n
 }
 
+// overlapLocked returns a segment overlapping [va, va+length), or
+// nil. Segments are disjoint and sorted by descending Base, so the
+// first segment based at or below the range's last byte is the only
+// candidate whose extent can reach va.
 func (as *AddressSpace) overlapLocked(va, length int64) *Segment {
-	for _, s := range as.segs {
-		if va < s.end() && s.Base < va+length {
-			return s
-		}
+	i := as.searchLocked(va + length - 1)
+	if i < len(as.segs) && as.segs[i].end() > va {
+		return as.segs[i]
 	}
 	return nil
 }
 
 func (as *AddressSpace) insertLocked(seg *Segment) {
-	i := 0
-	for i < len(as.segs) && as.segs[i].Base < seg.Base {
-		i++
-	}
+	// First index whose Base is below the new segment's: insert
+	// there to keep descending order. Stack and mmap carves walk
+	// down from mapTop, so the common case appends at the tail.
+	i := sort.Search(len(as.segs), func(i int) bool {
+		return as.segs[i].Base < seg.Base
+	})
 	as.segs = append(as.segs, nil)
 	copy(as.segs[i+1:], as.segs[i:])
 	as.segs[i] = seg
@@ -411,57 +601,140 @@ func (as *AddressSpace) insertLocked(seg *Segment) {
 }
 
 // unmapLocked removes or trims segments overlapping the range.
-// Partial unmaps split segments.
+// Partial unmaps split segments. Committed accounting follows:
+// touched pages (or the committed span of a stack watermark) inside
+// the removed range are decommitted.
 func (as *AddressSpace) unmapLocked(va, length int64) {
 	end := va + length
-	var out []*Segment
-	for _, s := range as.segs {
-		if s.end() <= va || end <= s.Base {
-			out = append(out, s)
-			continue
+	// Binary-search the overlap window: segments are disjoint in
+	// descending Base order, so the overlapping ones are a contiguous
+	// run starting at the first Base < end and ending before the first
+	// segment entirely below va. Only that window is touched — the
+	// common case (a thread exit unmapping the most recent carve at
+	// the tail) splices in O(log n) with no slice rebuild.
+	lo := as.searchLocked(end - 1)
+	hi := lo
+	var repl []*Segment
+	for hi < len(as.segs) && as.segs[hi].end() > va {
+		s := as.segs[hi]
+		hi++
+		clo, chi := max(va, s.Base), min(end, s.end())
+		as.mapped -= chi - clo
+		if s.stack {
+			if c := max(clo, s.commitLow); c < chi {
+				as.committed -= chi - c
+			}
+		} else if s.touched != nil {
+			for pg := clo / PageSize; pg <= (chi-1)/PageSize; pg++ {
+				if _, ok := s.touched[pg]; ok {
+					delete(s.touched, pg)
+					as.committed -= PageSize
+				}
+			}
 		}
-		as.mapped -= min(end, s.end()) - max(va, s.Base)
-		// Left remainder.
-		if s.Base < va {
-			left := *s
-			left.Length = va - s.Base
-			out = append(out, &left)
-		}
-		// Right remainder.
+		// Remainders, right (higher base) before left to keep the
+		// descending order. Both may share the touched map: its keys
+		// are absolute page numbers and the removed range's entries
+		// were deleted above.
 		if end < s.end() {
 			right := *s
 			right.objOff = s.objOff + (end - s.Base)
 			right.Base = end
 			right.Length = s.end() - end
-			out = append(out, &right)
+			if s.stack {
+				right.commitLow = max(s.commitLow, end)
+			}
+			repl = append(repl, &right)
+		}
+		if s.Base < va {
+			left := *s
+			left.Length = va - s.Base
+			if s.stack {
+				left.commitLow = min(s.commitLow, va)
+			}
+			repl = append(repl, &left)
 		}
 	}
-	as.segs = out
+	if lo == hi {
+		return
+	}
+	// Splice repl over segs[lo:hi] in place (copy is memmove-like, so
+	// the overlapping shifts are safe). At most two remainders exist,
+	// so the slice grows by at most one; when the window is at the
+	// tail and repl is empty — a thread exit unmapping the most
+	// recent carve — this is a pure truncation.
+	if w := hi - lo; len(repl) <= w {
+		copy(as.segs[lo:], repl)
+		copy(as.segs[lo+len(repl):], as.segs[hi:])
+		n := len(as.segs) - (w - len(repl))
+		for i := n; i < len(as.segs); i++ {
+			as.segs[i] = nil // release removed segments to the GC
+		}
+		as.segs = as.segs[:n]
+	} else { // len(repl) == w+1: middle split of a single segment
+		as.segs = append(as.segs, nil)
+		copy(as.segs[lo+len(repl):], as.segs[hi:])
+		copy(as.segs[lo:], repl)
+	}
 }
 
 // findLocked returns the segment containing va.
 func (as *AddressSpace) findLocked(va int64) *Segment {
-	for _, s := range as.segs {
-		if va >= s.Base && va < s.end() {
-			return s
-		}
+	i := as.searchLocked(va)
+	if i < len(as.segs) && va < as.segs[i].end() {
+		return as.segs[i]
 	}
 	return nil
 }
 
 // touchLocked performs first-touch fault accounting for [va,va+n).
-func (as *AddressSpace) touchLocked(s *Segment, va, n int64) {
+// For stack segments the commit watermark moves down to the chunk
+// boundary enclosing va; for everything else pages commit
+// individually. Fails with ErrNoMem when the committed-byte rlimit
+// would be exceeded (a stack chunk commits all-or-nothing; the
+// page-wise path stops at the page that hit the limit).
+func (as *AddressSpace) touchLocked(s *Segment, va, n int64) error {
+	if s.stack {
+		low := max(va&^(commitChunk-1), s.Base)
+		if low >= s.commitLow {
+			return nil
+		}
+		delta := s.commitLow - low
+		if as.commitLimit > 0 && as.committed+delta > as.commitLimit {
+			return fmt.Errorf("%d committed + %d > commit limit %d: %w",
+				as.committed, delta, as.commitLimit, ErrNoMem)
+		}
+		if as.faultFn != nil {
+			for pg := low / PageSize; pg < s.commitLow/PageSize; pg++ {
+				as.faultFn(false)
+			}
+		}
+		as.committed += delta
+		as.peakCommit = max(as.peakCommit, as.committed)
+		s.commitLow = low
+		return nil
+	}
 	first := va / PageSize
 	last := (va + n - 1) / PageSize
 	for pg := first; pg <= last; pg++ {
 		if _, ok := s.touched[pg]; ok {
 			continue
 		}
+		if as.commitLimit > 0 && as.committed+PageSize > as.commitLimit {
+			return fmt.Errorf("%d committed + %d > commit limit %d: %w",
+				as.committed, int64(PageSize), as.commitLimit, ErrNoMem)
+		}
+		if s.touched == nil {
+			s.touched = make(map[int64]struct{})
+		}
 		s.touched[pg] = struct{}{}
+		as.committed += PageSize
+		as.peakCommit = max(as.peakCommit, as.committed)
 		if as.faultFn != nil {
 			as.faultFn(s.obj.FileBacked())
 		}
 	}
+	return nil
 }
 
 // access validates an access and returns the segment. Accesses must
@@ -480,7 +753,9 @@ func (as *AddressSpace) access(va, n int64, want Prot) (*Segment, error) {
 	if s.Prot&want != want {
 		return nil, fmt.Errorf("%w: va %#x", ErrProt, va)
 	}
-	as.touchLocked(s, va, n)
+	if err := as.touchLocked(s, va, n); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -572,22 +847,18 @@ func (as *AddressSpace) ensureHeapLocked(addr int64) error {
 			Base: as.brkBase, Length: need,
 			Prot: ProtRead | ProtWrite, Flags: MapPrivate,
 			obj: as.heapObj, origin: as.heapObj,
-			touched: make(map[int64]struct{}),
 		}
 		as.insertLocked(seg)
 		return nil
 	}
 	// Grow the existing heap segment.
-	for _, s := range as.segs {
-		if s.obj == as.heapObj && s.Base == as.brkBase {
-			if need > s.Length {
-				if err := as.reserveLocked(need - s.Length); err != nil {
-					return err
-				}
-				as.mapped += need - s.Length
-				s.Length = need
+	if s := as.findLocked(as.brkBase); s != nil && s.obj == as.heapObj && s.Base == as.brkBase {
+		if need > s.Length {
+			if err := as.reserveLocked(need - s.Length); err != nil {
+				return err
 			}
-			return nil
+			as.mapped += need - s.Length
+			s.Length = need
 		}
 	}
 	return nil
@@ -598,8 +869,12 @@ func (as *AddressSpace) ensureHeapLocked(addr int64) error {
 // stacks grow down, so the first write past the bottom lands on the
 // guard and faults with ErrRedZone (a SIGSEGV at the mt layer)
 // instead of corrupting the neighboring mapping. Returns the base of
-// the usable stack — the guard page sits at base-PageSize. Fails with
-// ErrNoMem past the rlimit; the guard page counts toward the limit
+// the usable stack — the guard page sits at base-PageSize.
+//
+// The carve only reserves: no page is committed until first touch,
+// at which point the stack commits down in commitChunk steps toward
+// the red zone (see touchLocked). Reservation fails with ErrNoMem
+// past the rlimit; the guard page counts toward the reserved limit
 // like any other mapping.
 func (as *AddressSpace) MapStack(size int64) (int64, error) {
 	if size <= 0 {
@@ -616,20 +891,39 @@ func (as *AddressSpace) MapStack(size int64) (int64, error) {
 	guard := &Segment{
 		Base: va, Length: PageSize, Prot: 0,
 		Flags: MapPrivate | MapRedZone,
-		touched: make(map[int64]struct{}),
+		obj:   guardObj, origin: guardObj,
 	}
-	guardObj := NewAnon(0)
-	guard.obj, guard.origin = guardObj, guardObj
-	stackObj := NewAnon(size)
+	stackObj := NewSparseAnon(size)
 	stack := &Segment{
 		Base: va + PageSize, Length: size,
 		Prot: ProtRead | ProtWrite, Flags: MapPrivate,
 		obj: stackObj, origin: stackObj,
-		touched: make(map[int64]struct{}),
+		stack: true, commitLow: va + PageSize + size,
 	}
-	as.insertLocked(guard)
+	// Descending order: the stack (higher base) inserts before the
+	// guard; both append at the tail for fresh carves.
 	as.insertLocked(stack)
+	as.insertLocked(guard)
 	return stack.Base, nil
+}
+
+// TouchStack commits the top of a stack carve, modeling the first
+// frame pushed when a thread starts running: the top chunk commits,
+// moving the watermark off the reservation ceiling. A stack recycled
+// through the thread library's cache is already committed and the
+// touch is free. Fails with ErrNoMem past the committed-byte rlimit.
+func (as *AddressSpace) TouchStack(base, size int64) error {
+	if size <= 0 {
+		return ErrInval
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	top := base + pageRound(size) - 1
+	s := as.findLocked(top)
+	if s == nil {
+		return fmt.Errorf("%w: va %#x", ErrFault, top)
+	}
+	return as.touchLocked(s, top, 1)
 }
 
 // UnmapStack releases a MapStack carve: the stack and its red-zone
@@ -651,21 +945,25 @@ func (as *AddressSpace) Brk0() int64 {
 	return as.brk
 }
 
-// Segments returns a snapshot of the mappings, sorted by base.
+// Segments returns a snapshot of the mappings, sorted by ascending
+// base.
 func (as *AddressSpace) Segments() []Segment {
 	as.mu.Lock()
 	defer as.mu.Unlock()
 	out := make([]Segment, len(as.segs))
 	for i, s := range as.segs {
-		out[i] = *s
-		out[i].touched = nil
+		out[len(as.segs)-1-i] = *s
+		out[len(as.segs)-1-i].touched = nil
 	}
 	return out
 }
 
 // Fork duplicates the address space for a child process: shared
 // mappings refer to the same objects; private mappings (including the
-// heap) are copied.
+// heap) are copied — sparse stack objects chunk-by-chunk, so idle
+// stacks stay cheap across fork. The child's touch state is fresh:
+// its committed total starts at zero and rebuilds as it faults pages
+// in.
 func (as *AddressSpace) Fork() (*AddressSpace, error) {
 	as.mu.Lock()
 	defer as.mu.Unlock()
@@ -678,20 +976,28 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 		chaos:   as.chaos,
 		faultFn: nil, // the caller wires the child's accounting
 	}
+	child.commitLimit = as.commitLimit
 	for _, s := range as.segs {
 		ns := &Segment{
 			Base: s.Base, Length: s.Length, Prot: s.Prot,
 			Flags: s.Flags, obj: s.obj, origin: s.origin,
-			objOff: s.objOff, touched: make(map[int64]struct{}),
+			objOff: s.objOff, stack: s.stack,
 		}
-		if s.Flags&MapPrivate != 0 {
-			snap, err := snapshot(s.obj)
-			if err != nil {
-				return nil, err
-			}
-			ns.obj = snap
-			if s.obj == as.heapObj {
-				child.heapObj = snap
+		if ns.stack {
+			ns.commitLow = ns.end()
+		}
+		if s.Flags&MapPrivate != 0 && s.obj != guardObj {
+			if sp, ok := s.obj.(*SparseAnon); ok {
+				ns.obj = sp.clone()
+			} else {
+				snap, err := snapshot(s.obj)
+				if err != nil {
+					return nil, err
+				}
+				ns.obj = snap
+				if s.obj == as.heapObj {
+					child.heapObj = snap
+				}
 			}
 		}
 		child.segs = append(child.segs, ns)
@@ -708,4 +1014,6 @@ func (as *AddressSpace) Reset() {
 	as.brk = as.brkBase
 	as.mapHint = mapTop
 	as.mapped = 0
+	as.committed = 0
+	as.peakCommit = 0
 }

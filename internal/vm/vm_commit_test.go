@@ -1,0 +1,181 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests for the reserve/commit split: MapStack carves address space
+// without committing any page, pages commit lazily on touch, and the
+// accounting (Reserved vs Committed vs PeakCommitted) tracks the
+// difference.
+
+func TestMapStackReservesWithoutCommitting(t *testing.T) {
+	as := New(nil)
+	const size = 64 << 10
+	base, err := as.MapStack(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := as.Reserved(), int64(size+PageSize); got != want {
+		t.Errorf("Reserved = %d, want %d (stack + guard)", got, want)
+	}
+	if got := as.Committed(); got != 0 {
+		t.Errorf("Committed = %d after reserve-only carve, want 0", got)
+	}
+
+	// First touch at the top commits exactly one chunk.
+	if err := as.TouchStack(base, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Committed(); got != commitChunk {
+		t.Errorf("Committed = %d after top touch, want one chunk %d", got, commitChunk)
+	}
+	// Re-touching the committed top is free.
+	if err := as.TouchStack(base, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Committed(); got != commitChunk {
+		t.Errorf("Committed = %d after re-touch, want %d", got, commitChunk)
+	}
+
+	// Writing near the base (deep recursion) commits the rest of the
+	// carve down toward the red zone.
+	if err := as.Write(base, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Committed(); got != size {
+		t.Errorf("Committed = %d after deep write, want full stack %d", got, size)
+	}
+
+	// Unmap decommits and unreserves everything, but the peak stays.
+	if err := as.UnmapStack(base, size); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Reserved(); got != 0 {
+		t.Errorf("Reserved = %d after unmap, want 0", got)
+	}
+	if got := as.Committed(); got != 0 {
+		t.Errorf("Committed = %d after unmap, want 0", got)
+	}
+	if got := as.PeakCommitted(); got != size {
+		t.Errorf("PeakCommitted = %d, want %d", got, size)
+	}
+}
+
+func TestCommitLimitGatesTouchNotReserve(t *testing.T) {
+	as := New(nil)
+	const size = 64 << 10
+	as.SetCommitLimit(commitChunk) // one chunk of real memory
+
+	// Reservations sail past the commit limit: overcommit is the point.
+	b1, err := as.MapStack(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := as.MapStack(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.TouchStack(b1, size); err != nil {
+		t.Fatalf("first touch under the limit: %v", err)
+	}
+	// The second thread's first touch busts the commit limit.
+	if err := as.TouchStack(b2, size); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("touch past commit limit = %v, want ErrNoMem", err)
+	}
+	if got := as.Committed(); got != commitChunk {
+		t.Errorf("failed touch must not commit; Committed = %d, want %d", got, commitChunk)
+	}
+
+	// Freeing the first stack makes room for the second.
+	if err := as.UnmapStack(b1, size); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.TouchStack(b2, size); err != nil {
+		t.Fatalf("touch after decommit: %v", err)
+	}
+}
+
+// TestUnmapSplice exercises the in-place segment splice: full removal
+// from the tail (the thread-exit pattern), middle split growing the
+// slice by one, and partial trims at both edges.
+func TestUnmapSplice(t *testing.T) {
+	as := New(nil)
+	const size = 16 << 10
+	var bases []int64
+	for i := 0; i < 8; i++ {
+		b, err := as.MapStack(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bases = append(bases, b)
+	}
+	want := as.Reserved()
+
+	// Unmap in LIFO order (tail of the descending list) and then FIFO
+	// order; accounting must reach exactly zero.
+	for i := 7; i >= 4; i-- {
+		if err := as.UnmapStack(bases[i], size); err != nil {
+			t.Fatal(err)
+		}
+		want -= size + PageSize
+		if got := as.Reserved(); got != want {
+			t.Fatalf("Reserved = %d after LIFO unmap %d, want %d", got, i, want)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if err := as.UnmapStack(bases[i], size); err != nil {
+			t.Fatal(err)
+		}
+		want -= size + PageSize
+		if got := as.Reserved(); got != want {
+			t.Fatalf("Reserved = %d after FIFO unmap %d, want %d", got, i, want)
+		}
+	}
+	if len(as.Segments()) != 0 {
+		t.Fatalf("segments remain after unmapping everything: %v", as.Segments())
+	}
+
+	// Middle split: punch a page out of a flat mapping and check both
+	// remainders survive with the hole unmapped.
+	va, err := as.Mmap(0, 4*PageSize, ProtRead|ProtWrite, MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(va+PageSize, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(va, []byte{1}); err != nil {
+		t.Errorf("left remainder lost: %v", err)
+	}
+	if err := as.Write(va+2*PageSize, []byte{1}); err != nil {
+		t.Errorf("right remainder lost: %v", err)
+	}
+	if err := as.Write(va+PageSize, []byte{1}); !errors.Is(err, ErrFault) {
+		t.Errorf("write into punched hole = %v, want ErrFault", err)
+	}
+	if got, want := as.Reserved(), int64(3*PageSize); got != want {
+		t.Errorf("Reserved = %d after middle split, want %d", got, want)
+	}
+}
+
+func TestPeakCommittedResets(t *testing.T) {
+	as := New(nil)
+	va, err := as.Mmap(0, 4*PageSize, ProtRead|ProtWrite, MapPrivate, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := as.Write(va+i*PageSize, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := as.PeakCommitted(), int64(4*PageSize); got != want {
+		t.Errorf("PeakCommitted = %d, want %d", got, want)
+	}
+	as.Reset()
+	if got := as.PeakCommitted(); got != 0 {
+		t.Errorf("PeakCommitted = %d after Reset, want 0", got)
+	}
+}

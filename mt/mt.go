@@ -491,10 +491,18 @@ type ProcConfig struct {
 	// (bound threads, pool growth, SIGWAITING) fails with ErrAgain
 	// once this many LWPs are live. Zero is unlimited.
 	LWPLimit int
-	// ASLimitBytes caps the mapped bytes of the address space; Mmap,
-	// Sbrk and stack carving fail with ErrNoMem past it. Zero is
-	// unlimited.
+	// ASLimitBytes caps the mapped (reserved) bytes of the address
+	// space; Mmap, Sbrk and stack carving fail with ErrNoMem past it.
+	// Zero is unlimited.
 	ASLimitBytes int64
+	// CommitLimitBytes caps the committed bytes of the address space:
+	// first-touch page commits (including lazily-committed thread
+	// stacks) fail with ErrNoMem past it. The RSS-style rlimit, as
+	// opposed to ASLimitBytes's reservation rlimit. Zero is unlimited.
+	CommitLimitBytes int64
+	// ThreadCacheSize caps the Thread-struct freelist (zero: library
+	// default; negative: recycling disabled).
+	ThreadCacheSize int
 	// WatchdogDeadline sets the deadman watchdog's deadline for
 	// flagging LWPs stuck on-CPU and threads blocked too long
 	// (/proc/<pid>/health, mtstat -health). Zero selects 1s.
@@ -538,6 +546,9 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 	if cfg.ASLimitBytes > 0 {
 		p.AS.SetLimit(cfg.ASLimitBytes)
 	}
+	if cfg.CommitLimitBytes > 0 {
+		p.AS.SetCommitLimit(cfg.CommitLimitBytes)
+	}
 	p.AS.SetChaos(s.Kern.Chaos())
 	p.RT = core.NewRuntime(s.Kern, kp, core.Config{
 		Trace:                 s.tr,
@@ -547,8 +558,10 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		LWPAgeTime:            cfg.LWPAgeTime,
 		NoPriorityInheritance: cfg.NoPriorityInheritance,
 		MaxThreads:            cfg.MaxThreads,
+		ThreadCacheSize:       cfg.ThreadCacheSize,
 		WatchdogDeadline:      cfg.WatchdogDeadline,
 		InitialLWP:            initial,
+		StackMem:              p.AS,
 	})
 	// errno is the canonical unshared variable: register it before
 	// the first thread starts, as the run-time linker would.
