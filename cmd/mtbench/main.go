@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mtbench [-n iterations] [-fig 5,..,10|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x] [-allocs] [-memceiling bytes]
+//	mtbench [-n iterations] [-fig 5,..,11|0|-1] [-json file] [-baseline file] [-threshold x] [-traceoverhead x] [-allocs] [-memceiling bytes] [-seeds n] [-fastforward x]
 //
 // -fig 7 is the priority-inversion table (not in the paper): the
 // contended-acquisition triangle with turnstile priority inheritance
@@ -34,6 +34,17 @@
 // CI runs the tier at -n 100000 per PR; the nightly job runs the
 // full million with -memceiling gating the ring's peak committed
 // bytes.
+//
+// -fig 11 is the virtual-time tier (not in the paper): a seeded
+// sleep-heavy sweep — the shape of a chaos timeout sweep, wall time
+// dominated by timed kernel sleeps — run once on the real clock and
+// once on the fast-forward clock, which jumps over all-idle sleep
+// time. -seeds sets the sweep width (default 100; -n is not used, a
+// seed's cost is its virtual sleep schedule). -fastforward x exits
+// non-zero unless the real/fast-forward speedup is at least x; CI
+// gates it at 10x. The real-clock row is sleep-bound and so stable
+// under -baseline; the fast-forward row measures the substrate and
+// swings with host load, which the speedup gate absorbs.
 //
 // -allocs appends a host-allocations-per-op column for the rows that
 // collect it (figs 5 and 10) — a coarse whole-scenario count; the
@@ -181,12 +192,12 @@ func compareBaseline(doc jsonDoc, path string, threshold float64) ([]string, err
 
 // parseFigs turns the -fig value into the set of figures to run:
 // "0" means all, "-1" means none, otherwise a comma-separated list
-// drawn from 5-10 (e.g. "5,6,7,8").
+// drawn from 5-11 (e.g. "5,6,7,8").
 func parseFigs(s string) (map[int]bool, error) {
 	want := make(map[int]bool)
 	switch s {
 	case "0":
-		for f := 5; f <= 10; f++ {
+		for f := 5; f <= 11; f++ {
 			want[f] = true
 		}
 		return want, nil
@@ -195,8 +206,8 @@ func parseFigs(s string) (map[int]bool, error) {
 	}
 	for _, part := range strings.Split(s, ",") {
 		f, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || f < 5 || f > 10 {
-			return nil, fmt.Errorf("-fig must be a comma list from 5-10, 0 (all) or -1 (none); got %q", s)
+		if err != nil || f < 5 || f > 11 {
+			return nil, fmt.Errorf("-fig must be a comma list from 5-11, 0 (all) or -1 (none); got %q", s)
 		}
 		want[f] = true
 	}
@@ -212,6 +223,8 @@ func main() {
 	traceOverhead := flag.Float64("traceoverhead", 0, "if > 0, gate traced-vs-untraced dispatch latency at this ratio")
 	allocs := flag.Bool("allocs", false, "print host allocations per op for rows that collect them")
 	memCeiling := flag.Int64("memceiling", 0, "if > 0, fail when the fig-10 ring's peak committed bytes exceed this")
+	seeds := flag.Int("seeds", 100, "seed count for the fig-11 sleep sweep")
+	ffGate := flag.Float64("fastforward", 0, "if > 0, fail unless the fig-11 real/fast-forward speedup is at least this")
 	flag.Parse()
 
 	want, err := parseFigs(*fig)
@@ -270,6 +283,14 @@ func main() {
 		printAllocs(rows)
 		doc.Rows = append(doc.Rows, toJSONRows(10, rows)...)
 	}
+	var fig11 []benchkit.Row
+	if want[11] {
+		fig11 = benchkit.Figure11(*seeds)
+		fmt.Print(benchkit.FormatTable(
+			fmt.Sprintf("Sleep-heavy sweep, %d seeds: real clock vs fast-forward (not in paper)", *seeds), fig11))
+		fmt.Println()
+		doc.Rows = append(doc.Rows, toJSONRows(11, fig11)...)
+	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -309,6 +330,24 @@ func main() {
 		if scale.RingPeakCommitted > *memCeiling {
 			fmt.Fprintf(os.Stderr, "mtbench: peak committed %d B exceeds ceiling %d B\n",
 				scale.RingPeakCommitted, *memCeiling)
+			os.Exit(1)
+		}
+	}
+	if *ffGate > 0 {
+		if fig11 == nil {
+			fmt.Fprintln(os.Stderr, "mtbench: -fastforward requires -fig to include 11")
+			os.Exit(2)
+		}
+		wall, ff := fig11[0].PerOp(), fig11[1].PerOp()
+		speedup := 0.0
+		if ff > 0 {
+			speedup = float64(wall) / float64(ff)
+		}
+		fmt.Printf("Fast-forward speedup gate: real %v/seed, fast-forward %v/seed, %.1fx (min %.1fx)\n",
+			wall, ff, speedup, *ffGate)
+		if speedup < *ffGate {
+			fmt.Fprintf(os.Stderr, "mtbench: fast-forward speedup %.1fx is below the %.1fx gate\n",
+				speedup, *ffGate)
 			os.Exit(1)
 		}
 	}

@@ -5,6 +5,25 @@
 // merged stream — kernel wakeup-to-dispatch latency and on-CPU run
 // lengths. With -dump it also prints every retained record in global
 // order.
+//
+// -perfetto writes the merged stream as Chrome trace JSON (open it at
+// ui.perfetto.dev): a track per CPU showing which LWP held it, a
+// track per thread with microstate-colored slices, wakeup flow
+// arrows, and instants for preemptions, steals, balances, and
+// fast-forward jumps.
+//
+// -record and -replay are schedule time travel. -record <file> runs a
+// deterministic workload variant — one CPU, a frozen manual clock,
+// SIGWAITING growth off, chaos from -seed — recording every chaos
+// decision, and writes the schedule journal (decisions plus the full
+// event stream) to the file. -replay <file> reads a journal, re-runs
+// the workload it describes with the dispatcher's decision points
+// driven from the journal, and verifies the replayed event stream
+// matches the recorded one; on divergence it prints the first
+// mismatching event and exits non-zero. The determinism contract is
+// the recording configuration: on the real clock, or with more CPUs,
+// timeshare priorities drift with measured time and runs legitimately
+// diverge.
 package main
 
 import (
@@ -12,9 +31,12 @@ import (
 	"fmt"
 	"log"
 	"math/bits"
+	"os"
 	"sort"
+	"strconv"
 	"time"
 
+	"sunosmt/internal/ktime"
 	"sunosmt/mt"
 )
 
@@ -24,14 +46,28 @@ func main() {
 	dump := flag.Bool("dump", false, "print every retained record in merge order")
 	threads := flag.Int("threads", 6, "worker threads in the demo workload")
 	iters := flag.Int("iters", 200, "iterations per worker")
+	seed := flag.Uint64("seed", 1, "chaos seed for -record")
+	record := flag.String("record", "", "record a deterministic run's schedule journal to this file")
+	replay := flag.String("replay", "", "replay a schedule journal and verify the event stream matches")
+	perfetto := flag.String("perfetto", "", "write the run's merged event stream as Chrome trace JSON to this file")
 	flag.Parse()
 
-	sys := mt.NewSystem(mt.Options{
-		NCPU:      *ncpu,
-		EventRing: *ring,
-		TimeSlice: 200 * time.Microsecond,
-	})
-	runWorkload(sys, *threads, *iters)
+	var sys *mt.System
+	switch {
+	case *record != "" && *replay != "":
+		log.Fatal("mttrace: -record and -replay are mutually exclusive")
+	case *record != "":
+		sys = recordRun(*record, *seed, *threads, *iters, *ring)
+	case *replay != "":
+		sys = replayRun(*replay)
+	default:
+		sys = mt.NewSystem(mt.Options{
+			NCPU:      *ncpu,
+			EventRing: *ring,
+			TimeSlice: 200 * time.Microsecond,
+		})
+		runWorkload(sys, *threads, *iters)
+	}
 
 	ev := sys.Events()
 	recs, dropped := ev.Snapshot()
@@ -39,6 +75,19 @@ func main() {
 		for _, r := range recs {
 			fmt.Println(r)
 		}
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mt.WritePerfetto(f, recs); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("perfetto trace: %s (%d events; open at ui.perfetto.dev)\n", *perfetto, len(recs))
 	}
 
 	counts := map[mt.EventKind]int{}
@@ -60,6 +109,124 @@ func main() {
 	printHist(wakeupLatencies(recs))
 	fmt.Println("\non-CPU run length (dispatch to the CPU's next dispatch):")
 	printHist(onCPURuns(recs))
+}
+
+// runDeterministic runs the record/replay workload: `threads` unbound
+// threads contending one mutex on one CPU. The configuration is the
+// replay determinism contract — one CPU, simulated path costs off,
+// SIGWAITING pool growth off, and a frozen manual clock (timeshare
+// priorities decay with *measured* CPU time, so on the real clock a
+// slow run charges more usage than a fast one and dispatch priorities
+// drift). Under it the event stream is a pure function of the chaos
+// decision stream, which src records or replays.
+func runDeterministic(src *mt.ChaosSource, threads, iters, ring int) *mt.System {
+	sys := mt.NewSystem(mt.Options{
+		NCPU:             1,
+		Clock:            ktime.NewManual(),
+		Chaos:            src,
+		LWPCreateCost:    -1,
+		KernelSwitchCost: -1,
+		EventRing:        ring,
+	})
+	p, err := sys.Spawn("mttrace-det", func(t *mt.Thread, _ any) {
+		r := t.Runtime()
+		var mu mt.Mutex
+		shared := 0
+		body := func(c *mt.Thread, _ any) {
+			for j := 0; j < iters; j++ {
+				mu.Enter(c)
+				shared++
+				c.Checkpoint()
+				mu.Exit(c)
+			}
+		}
+		ids := make([]mt.ThreadID, 0, threads)
+		for i := 1; i < threads; i++ {
+			c, err := r.Create(body, nil, mt.CreateOpts{Flags: mt.ThreadWait})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids = append(ids, c.ID())
+		}
+		body(t, nil)
+		for _, id := range ids {
+			t.Wait(id)
+		}
+	}, nil, mt.ProcConfig{DisableSigwaiting: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.WaitExit()
+	return sys
+}
+
+// recordRun executes the deterministic workload with a recording
+// chaos source and writes the schedule journal, stamping the workload
+// parameters into the journal metadata so replayRun can rebuild the
+// identical run.
+func recordRun(path string, seed uint64, threads, iters, ring int) *mt.System {
+	src := mt.NewChaos(seed)
+	src.StartRecording()
+	sys := runDeterministic(src, threads, iters, ring)
+	if d, tn := sys.Events().Dropped(), sys.Events().Torn(); d != 0 || tn != 0 {
+		log.Fatalf("mttrace: event ring overflowed (dropped %d, torn %d); raise -ring", d, tn)
+	}
+	j := sys.Schedule()
+	j.Meta["workload"] = "mttrace contended-mutex"
+	j.Meta["threads"] = strconv.Itoa(threads)
+	j.Meta["iters"] = strconv.Itoa(iters)
+	j.Meta["ring"] = strconv.Itoa(ring)
+	if err := j.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded schedule: %s (%d decisions, %d events, seed %d)\n",
+		path, len(j.Decisions), len(j.Events), seed)
+	return sys
+}
+
+// replayRun reads a journal, re-runs the workload its metadata
+// describes with chaos decisions served from the journal, and
+// verifies the replayed event stream matches the recorded one.
+func replayRun(path string) *mt.System {
+	j, err := mt.ReadJournalFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if w := j.Meta["workload"]; w != "mttrace contended-mutex" {
+		log.Fatalf("mttrace: journal %s records workload %q, not one mttrace can replay", path, w)
+	}
+	metaInt := func(key string) int {
+		n, err := strconv.Atoi(j.Meta[key])
+		if err != nil {
+			log.Fatalf("mttrace: journal %s: bad %s metadata: %v", path, key, err)
+		}
+		return n
+	}
+	threads, iters, ring := metaInt("threads"), metaInt("iters"), metaInt("ring")
+	src, err := mt.NewReplayChaos(j)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := runDeterministic(src, threads, iters, ring)
+	recs, _ := sys.Events().Snapshot()
+	if d := mt.FirstEventDivergence(j.Events, recs); d != -1 {
+		want, got := "(stream ended)", "(stream ended)"
+		if d < len(j.Events) {
+			want = j.Events[d].String()
+		}
+		if d < len(recs) {
+			got = recs[d].String()
+		}
+		fmt.Fprintf(os.Stderr, "mttrace: replay diverged at event %d:\n  recorded: %s\n  replayed: %s\n",
+			d, want, got)
+		os.Exit(1)
+	}
+	if dv := src.Divergence(); dv != nil {
+		fmt.Fprintf(os.Stderr, "mttrace: replay divergence: %v\n", dv)
+		os.Exit(1)
+	}
+	fmt.Printf("replay ok: %s (%d events match, divergence detector silent)\n", path, len(recs))
+	return sys
 }
 
 // runWorkload spawns a process mixing lock contention (wakeups),

@@ -34,6 +34,8 @@
 package chaos
 
 import (
+	"encoding/json"
+	"fmt"
 	"sync"
 	"time"
 
@@ -166,6 +168,45 @@ type Source struct {
 	mu       sync.Mutex
 	counters map[string]uint64
 	journal  *trace.Buffer
+
+	// Recording mode: every consulted decision is appended in global
+	// order, so the run's schedule serializes to a journal.
+	recording bool
+	decisions []trace.Decision
+
+	// Replay mode (non-nil replay map): decisions are answered from
+	// per-site queues instead of rolled, and the first inconsistency
+	// between the recorded stream and the live run is kept in div.
+	replay map[string][]trace.Decision
+	rnext  map[string]int
+	div    *Divergence
+}
+
+// Divergence describes the first point where a replayed run stopped
+// matching its recording: the site was consulted more times than the
+// journal holds (Exhausted), or with a different input — a different
+// candidate count or timer duration — meaning the schedule had
+// already drifted before the decision applied (Want holds the
+// recorded decision, GotN the live input).
+type Divergence struct {
+	Site      string
+	Index     int // per-site consultation index
+	Exhausted bool
+	Want      trace.Decision
+	GotN      int64
+}
+
+// String implements fmt.Stringer.
+func (d *Divergence) String() string {
+	if d == nil {
+		return "<no divergence>"
+	}
+	if d.Exhausted {
+		return fmt.Sprintf("chaos replay diverged: site %s consulted %d times, journal ends at %d (live input %d)",
+			d.Site, d.Index+1, d.Index, d.GotN)
+	}
+	return fmt.Sprintf("chaos replay diverged: site %s query %d recorded input %d, live input %d",
+		d.Site, d.Index, d.Want.N, d.GotN)
 }
 
 // New returns a Source with the given configuration.
@@ -228,14 +269,57 @@ func (s *Source) rollLocked(site string) uint64 {
 	return splitmix64(s.cfg.Seed ^ siteHash(site) ^ (n * 0x9e3779b97f4a7c15))
 }
 
+// replayNextLocked pops the next recorded decision for site,
+// verifying the live input n matches the recorded one. On journal
+// exhaustion or input mismatch it keeps the first divergence and
+// reports !ok; the caller then applies no perturbation (always a
+// safe answer).
+func (s *Source) replayNextLocked(site string, n int64) (trace.Decision, bool) {
+	i := s.rnext[site]
+	q := s.replay[site]
+	if i >= len(q) {
+		if s.div == nil {
+			s.div = &Divergence{Site: site, Index: i, Exhausted: true, GotN: n}
+		}
+		return trace.Decision{}, false
+	}
+	s.rnext[site] = i + 1
+	d := q[i]
+	if d.N != n {
+		if s.div == nil {
+			s.div = &Divergence{Site: site, Index: i, Want: d, GotN: n}
+		}
+		return trace.Decision{}, false
+	}
+	return d, true
+}
+
+// recordLocked appends a consulted decision in global order.
+func (s *Source) recordLocked(site string, n, value int64) {
+	if s.recording {
+		s.decisions = append(s.decisions, trace.Decision{Site: site, N: n, Value: value})
+	}
+}
+
 // fire decides a boolean site and journals a hit.
 func (s *Source) fire(site string, permille int) bool {
 	if s == nil || permille <= 0 {
 		return false
 	}
 	s.mu.Lock()
-	h := s.rollLocked(site)
-	hit := h%1000 < uint64(permille)
+	var hit bool
+	if s.replay != nil {
+		d, ok := s.replayNextLocked(site, 1)
+		hit = ok && d.Value != 0
+	} else {
+		h := s.rollLocked(site)
+		hit = h%1000 < uint64(permille)
+	}
+	v := int64(0)
+	if hit {
+		v = 1
+	}
+	s.recordLocked(site, 1, v)
 	if hit {
 		s.journal.Add("chaos", "%s", site)
 	}
@@ -250,13 +334,21 @@ func (s *Source) choose(site string, n, permille int) int {
 		return -1
 	}
 	s.mu.Lock()
-	h := s.rollLocked(site)
-	if h%1000 >= uint64(permille) {
-		s.mu.Unlock()
-		return -1
+	idx := -1
+	if s.replay != nil {
+		if d, ok := s.replayNextLocked(site, int64(n)); ok {
+			idx = int(d.Value)
+		}
+	} else {
+		h := s.rollLocked(site)
+		if h%1000 < uint64(permille) {
+			idx = int((h >> 32) % uint64(n))
+		}
 	}
-	idx := int((h >> 32) % uint64(n))
-	s.journal.Add("chaos", "%s idx=%d/%d", site, idx, n)
+	s.recordLocked(site, int64(n), int64(idx))
+	if idx >= 0 {
+		s.journal.Add("chaos", "%s idx=%d/%d", site, idx, n)
+	}
 	s.mu.Unlock()
 	return idx
 }
@@ -415,18 +507,112 @@ func (s *Source) Jitter(d time.Duration) time.Duration {
 		return d
 	}
 	s.mu.Lock()
-	h := s.rollLocked("ktime.jitter")
-	if h%1000 >= uint64(s.cfg.TimerJitter) {
-		s.mu.Unlock()
-		return d
+	nd := d
+	if s.replay != nil {
+		if rec, ok := s.replayNextLocked("ktime.jitter", int64(d)); ok {
+			nd = time.Duration(rec.Value)
+		}
+	} else {
+		h := s.rollLocked("ktime.jitter")
+		if h%1000 < uint64(s.cfg.TimerJitter) {
+			span := int64(s.cfg.MaxTimerJitter)
+			nd = d + time.Duration(int64((h>>32)%uint64(2*span+1))-span)
+			if nd < time.Nanosecond {
+				nd = time.Nanosecond
+			}
+		}
 	}
-	span := int64(s.cfg.MaxTimerJitter)
-	delta := time.Duration(int64((h>>32)%uint64(2*span+1)) - span)
-	nd := d + delta
-	if nd < time.Nanosecond {
-		nd = time.Nanosecond
+	s.recordLocked("ktime.jitter", int64(d), int64(nd))
+	if nd != d {
+		s.journal.Add("chaos", "ktime.jitter %v -> %v", d, nd)
 	}
-	s.journal.Add("chaos", "ktime.jitter %v -> %v", d, nd)
 	s.mu.Unlock()
 	return nd
+}
+
+// StartRecording turns on decision recording: from this point every
+// consulted decision is kept in global order, ready to serialize with
+// Schedule. Call it before the workload starts so the journal covers
+// the whole run. No-op on a nil Source.
+func (s *Source) StartRecording() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.recording = true
+	s.mu.Unlock()
+}
+
+// Recording reports whether decision recording is on.
+func (s *Source) Recording() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recording
+}
+
+// Schedule snapshots the recorded decision stream into a journal
+// whose metadata carries the full chaos Config, so NewReplay can
+// rebuild an equivalent source from the journal alone. The caller
+// typically appends the run's ring events before writing it out.
+func (s *Source) Schedule() *trace.Journal {
+	j := trace.NewJournal()
+	if s == nil {
+		return j
+	}
+	s.mu.Lock()
+	if raw, err := json.Marshal(s.cfg); err == nil {
+		j.Meta["chaos-config"] = string(raw)
+	}
+	j.Meta["seed"] = fmt.Sprint(s.cfg.Seed)
+	j.Decisions = append([]trace.Decision(nil), s.decisions...)
+	s.mu.Unlock()
+	return j
+}
+
+// NewReplay returns a Source that re-issues the journal's decision
+// stream instead of rolling fresh decisions: the n-th consultation of
+// each site answers exactly what the recorded run was told, so the
+// dispatcher's choice points are driven back down the recorded
+// schedule. The journal must have been produced by Schedule (its
+// metadata carries the recorded Config, which replay reuses so the
+// same sites are active at the same rates). Divergence reports the
+// first inconsistency between the recording and the live run.
+func NewReplay(j *trace.Journal) (*Source, error) {
+	raw, ok := j.Meta["chaos-config"]
+	if !ok {
+		return nil, fmt.Errorf("chaos: journal has no chaos-config metadata")
+	}
+	var cfg Config
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		return nil, fmt.Errorf("chaos: bad chaos-config metadata: %w", err)
+	}
+	s := New(cfg)
+	s.replay = make(map[string][]trace.Decision)
+	s.rnext = make(map[string]int)
+	for _, d := range j.Decisions {
+		s.replay[d.Site] = append(s.replay[d.Site], d)
+	}
+	return s, nil
+}
+
+// Replaying reports whether the source is in replay mode.
+func (s *Source) Replaying() bool {
+	if s == nil {
+		return false
+	}
+	return s.replay != nil
+}
+
+// Divergence returns the first recorded replay divergence, or nil
+// when the replayed run has followed the journal exactly so far.
+func (s *Source) Divergence() *Divergence {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.div
 }

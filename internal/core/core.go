@@ -527,7 +527,8 @@ func (m *Runtime) dispatch(pl *poolLWP, t *Thread) {
 
 	// The LWP assumes the thread's identity: its signal mask.
 	m.kern.SetLWPMask(pl.l, sim.SigSetMask, t.mask())
-	m.rings.Record(pl.l.CurCPU(), trace.EvThreadRun, int(m.proc.PID()), int(pl.l.ID()), int(t.id), 0)
+	m.rings.Record(pl.l.CurCPU(), trace.EvThreadRun, int(m.proc.PID()), int(pl.l.ID()), int(t.id),
+		uint64(t.poppedFrom.Load()+1))
 
 	if first {
 		// First dispatch: the thread is about to push its first

@@ -246,6 +246,7 @@ func (d *dispatcher) popShard(si int, src *chaos.Source, hint int) *Thread {
 		d.total.Add(-1)
 		// Affinity follows the popper: the thread is about to run
 		// on hint's CPU, so its next wakeup queues there.
+		t.poppedFrom.Store(int32(si))
 		t.shard.Store(int32(hint))
 	}
 	s.mu.Unlock()

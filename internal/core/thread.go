@@ -140,6 +140,13 @@ type Thread struct {
 	// under the shard lock.
 	shard atomic.Int32
 
+	// poppedFrom is the shard index the most recent dispatcher pop
+	// took the thread from, or -1 before its first pop. The dispatch
+	// trace records it (as shard+1) in EvThreadRun's Arg so a
+	// schedule journal captures which queue the pop chose — the one
+	// dispatcher decision the event stream otherwise loses.
+	poppedFrom atomic.Int32
+
 	// Intrusive sleep-queue node. sqNext/sqPrev are guarded by the
 	// shard lock of the channel the thread is queued on; sqBkt
 	// itself is atomic so teardown can read it without that lock.
@@ -352,6 +359,7 @@ func (m *Runtime) Create(fn Func, arg any, opts CreateOpts) (*Thread, error) {
 	}
 	t.effPrio.Store(int32(t.prio))
 	t.shard.Store(-1) // first enqueue places round-robin
+	t.poppedFrom.Store(-1)
 	t.stack = stack
 	t.stkBase, t.stkSize = span.base, span.size
 	t.stackOwn = own

@@ -109,6 +109,15 @@ type Config struct {
 	// preemption, dispatch pick order, wakeup order, injected
 	// EINTR, early SIGWAITING) deterministically from its seed.
 	Chaos *chaos.Source
+	// FastForward, when Clock is nil, boots the kernel on a
+	// ktime.FastForward clock: whenever every LWP is sleeping or
+	// parked with a timer pending, virtual time jumps to the next
+	// deadline instead of waiting for it. A caller-supplied
+	// fast-forward Clock (including one wrapped in ktime.Jittered)
+	// is detected and driven the same way, so mt composes chaos
+	// jitter with fast-forward. Real-time configurations are
+	// untouched: with neither, nothing jumps.
+	FastForward bool
 }
 
 // Default simulated kernel path lengths (see Config).
@@ -132,9 +141,16 @@ type Kernel struct {
 	mu    sync.Mutex
 	cfg   Config
 	clock ktime.Clock
+	ff    *ktime.FastForward // non-nil when the clock fast-forwards
 	tr    *trace.Buffer
 	rings *trace.Rings
 	chaos *chaos.Source
+
+	// nactive counts LWPs in a schedulable state (embryo, runnable,
+	// on-CPU). When it drops to zero every LWP is blocked waiting on
+	// an event or a timer, and the fast-forward clock is kicked to
+	// leap over the idle time. Maintained by setLWPStateLocked.
+	nactive int
 
 	cpus    []*CPU
 	procs   map[PID]*Process
@@ -187,7 +203,11 @@ func NewKernel(cfg Config) *Kernel {
 		cfg.NCPU = 1
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = ktime.NewReal()
+		if cfg.FastForward {
+			cfg.Clock = ktime.NewFastForward()
+		} else {
+			cfg.Clock = ktime.NewReal()
+		}
 	}
 	switch {
 	case cfg.LWPCreateCost < 0:
@@ -223,8 +243,40 @@ func NewKernel(cfg Config) *Kernel {
 		k.cpus = append(k.cpus, c)
 		def.cpus = append(def.cpus, c)
 	}
+	if ff := ktime.FastForwardOf(k.clock); ff != nil {
+		k.ff = ff
+		ff.SetIdle(k.allIdle)
+	}
 	return k
 }
+
+// allIdle is the fast-forward clock's idle predicate: true when no
+// LWP can make progress without a timer firing or external input.
+// Besides the schedulable count it checks for LWPs already woken but
+// not yet re-run by their animator goroutine — jumping in that window
+// would leap over time the woken LWP is about to use.
+func (k *Kernel) allIdle() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.nactive > 0 {
+		return false
+	}
+	for _, p := range k.procs {
+		for _, l := range p.lwps {
+			if l.woken {
+				switch l.state {
+				case LWPSleeping, LWPParked, LWPSigWait:
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// FastForward returns the kernel's fast-forward clock, or nil when
+// the configured clock does not fast-forward.
+func (k *Kernel) FastForward() *ktime.FastForward { return k.ff }
 
 // Clock returns the kernel's clock.
 func (k *Kernel) Clock() ktime.Clock { return k.clock }
@@ -367,6 +419,7 @@ func (k *Kernel) newLWPLocked(p *Process, class Class, prio int) *LWP {
 	l.cond = sync.NewCond(&k.mu)
 	p.lwps[l.id] = l
 	p.liveLWPs++
+	k.nactive++ // embryo counts as schedulable: it is about to run
 	// A fresh LWP can run threads, so the all-blocked condition no
 	// longer holds.
 	p.sigwaitingOn = false
@@ -672,6 +725,7 @@ func (k *Kernel) balanceLocked(now time.Duration) {
 			k.runqRemoveLocked(l)
 			k.runqPushLocked(lo, l)
 			k.balanceMoves++
+			k.rings.Record(lo.id, trace.EvBalance, int(l.proc.pid), int(l.id), 0, uint64(hi.id))
 		}
 	}
 }

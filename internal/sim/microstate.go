@@ -91,13 +91,30 @@ func (u LWPMicrostates) Sum() time.Duration {
 	return u.Embryo + u.Runq + u.OnCPU + u.Sleep + u.Park + u.Stopped
 }
 
+// lwpSchedulable reports whether an LWP in state s can make progress
+// without an external event: embryos are about to run, runnables are
+// waiting only for a CPU, on-CPU LWPs are running. Sleeping, parked,
+// stopped, sig-waiting and zombie LWPs all wait on something else.
+func lwpSchedulable(s LWPState) bool {
+	return s == LWPEmbryo || s == LWPRunnable || s == LWPOnCPU
+}
+
 // setLWPStateLocked is the single LWP state-change point: it charges
 // the interval since the last change to the outgoing state's
-// accumulator and enters s. Requires Kernel.mu; callers read the clock
+// accumulator and enters s. It also maintains the kernel's
+// schedulable-LWP count, kicking the fast-forward clock when the last
+// schedulable LWP blocks. Requires Kernel.mu; callers read the clock
 // once per transition and pass it in.
 func (k *Kernel) setLWPStateLocked(l *LWP, now time.Duration, s LWPState) {
 	l.msAcc[lwpMicroOf(l.state)] += now - l.msMark
 	l.msMark = now
+	if was, is := lwpSchedulable(l.state), lwpSchedulable(s); was != is {
+		if is {
+			k.nactive++
+		} else if k.nactive--; k.nactive == 0 && k.ff != nil {
+			k.ff.Kick()
+		}
+	}
 	l.state = s
 }
 

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := NewJournal()
+	j.Meta["chaos-config"] = `{"Seed":42,"Preempt":100}`
+	j.Meta["workload"] = "broken mutex 2x150"
+	j.Decisions = []Decision{
+		{Site: "sim.preempt", N: 1, Value: 1},
+		{Site: "sim.pick", N: 4, Value: -1},
+		{Site: "ktime.jitter", N: 1000000, Value: 999000},
+	}
+	j.Events = []Record{
+		{Seq: 1, When: 5, Kind: EvDispatch, CPU: 0, PID: 1, LWP: 2, TID: 0, Arg: 30},
+		{Seq: 2, When: 9, Kind: EvWakeup, CPU: -1, PID: 1, LWP: 3, TID: 0, Arg: 0},
+	}
+	var buf bytes.Buffer
+	if err := j.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJournal(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Meta) != 2 || got.Meta["chaos-config"] != j.Meta["chaos-config"] ||
+		got.Meta["workload"] != j.Meta["workload"] {
+		t.Fatalf("meta round trip: %+v", got.Meta)
+	}
+	if len(got.Decisions) != 3 {
+		t.Fatalf("decisions round trip: %+v", got.Decisions)
+	}
+	for i, d := range j.Decisions {
+		if got.Decisions[i] != d {
+			t.Fatalf("decision %d: %+v != %+v", i, got.Decisions[i], d)
+		}
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("events round trip: %+v", got.Events)
+	}
+	// Seq and When are deliberately not serialized.
+	if div := FirstEventDivergence(got.Events, j.Events); div != -1 {
+		t.Fatalf("round-tripped events diverge at %d", div)
+	}
+	// Serialization is deterministic.
+	var buf2 bytes.Buffer
+	if err := got.Write(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized journal differs byte for byte")
+	}
+}
+
+func TestFirstEventDivergence(t *testing.T) {
+	a := []Record{
+		{Kind: EvDispatch, CPU: 0, PID: 1, LWP: 1},
+		{Kind: EvPreempt, CPU: 0, PID: 1, LWP: 1},
+	}
+	same := []Record{
+		{Seq: 99, When: 123, Kind: EvDispatch, CPU: 0, PID: 1, LWP: 1},
+		{Seq: 100, When: 456, Kind: EvPreempt, CPU: 0, PID: 1, LWP: 1},
+	}
+	if d := FirstEventDivergence(a, same); d != -1 {
+		t.Fatalf("identical schedules diverge at %d", d)
+	}
+	diff := []Record{
+		{Kind: EvDispatch, CPU: 0, PID: 1, LWP: 1},
+		{Kind: EvPreempt, CPU: 1, PID: 1, LWP: 1},
+	}
+	if d := FirstEventDivergence(a, diff); d != 1 {
+		t.Fatalf("divergence at %d, want 1", d)
+	}
+	if d := FirstEventDivergence(a, a[:1]); d != 1 {
+		t.Fatalf("prefix divergence at %d, want 1", d)
+	}
+}
+
+func TestReadJournalRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not a journal\n",
+		"sunosmt-journal v1\nx what\n",
+		"sunosmt-journal v1\nd site 1\n",
+		"sunosmt-journal v1\ne 1 2 3\n",
+	} {
+		if _, err := ReadJournal(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("ReadJournal accepted %q", in)
+		}
+	}
+}

@@ -47,6 +47,14 @@ const (
 	// another CPU's run queue. CPU is the thief; Arg is the victim
 	// CPU id. A matching EvDispatch on the thief follows.
 	EvSteal
+	// EvBalance: the periodic balancer moved a queued LWP to a
+	// shallower queue. CPU is the destination; Arg is the source CPU
+	// id.
+	EvBalance
+	// EvFastForward: the fast-forward clock leapt over idle virtual
+	// time to the next timer deadline. Arg is the nanoseconds
+	// skipped; recorded on the unattributed ring.
+	EvFastForward
 	numEventKinds
 )
 
@@ -71,6 +79,10 @@ func (k EventKind) String() string {
 		return "threadpark"
 	case EvSteal:
 		return "steal"
+	case EvBalance:
+		return "balance"
+	case EvFastForward:
+		return "fastforward"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }

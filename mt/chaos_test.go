@@ -13,6 +13,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -21,6 +24,10 @@ import (
 
 var chaosSeedFlag = flag.Uint64("chaos.seed", 0,
 	"run chaos sweeps with this single seed (replay a failure)")
+
+var chaosFFFlag = flag.Bool("chaos.fastforward", false,
+	"run chaos sweeps on the virtual fast-forward clock (idle sleep "+
+		"time is skipped, so timeout-heavy sweeps finish in compute time)")
 
 // chaosSeeds returns the seed set for a sweep: the replay seed if
 // -chaos.seed was given, a short set under -short (the -race CI
@@ -68,13 +75,45 @@ func chaosOpts(ncpu int, seed uint64) Options {
 	}
 }
 
+// chaosSystem boots a sweep iteration's system, applying the two
+// sweep-wide switches: -chaos.fastforward moves the run onto the
+// virtual fast-forward clock, and CHAOS_JOURNAL_DIR (set by CI)
+// turns on schedule recording and dumps the journal of any failing
+// test there, so the exact failing schedule can be replayed with
+// NewReplayChaos rather than re-searched from the seed.
+func chaosSystem(t *testing.T, o Options) *System {
+	o.FastForward = *chaosFFFlag
+	dir := os.Getenv("CHAOS_JOURNAL_DIR")
+	if dir != "" {
+		o.Chaos.StartRecording()
+		if o.EventRing == 0 {
+			o.EventRing = 8192
+		}
+	}
+	sys := NewSystem(o)
+	if dir != "" {
+		t.Cleanup(func() {
+			if !t.Failed() {
+				return
+			}
+			path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+".journal")
+			if err := sys.Schedule().WriteFile(path); err != nil {
+				t.Logf("schedule journal dump failed: %v", err)
+			} else {
+				t.Logf("schedule journal: %s", path)
+			}
+		})
+	}
+	return sys
+}
+
 // TestChaosMutexExclusion: N threads increment a plain counter under
 // a mutex; a holders gauge catches any simultaneous critical-section
 // occupancy the perturbed schedules might expose.
 func TestChaosMutexExclusion(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const nThreads, iters = 4, 40
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var mu Mutex
 		var holders, violations atomic.Int32
 		counter := 0
@@ -121,7 +160,7 @@ func TestChaosMutexExclusion(t *testing.T) {
 func TestChaosRWLockExclusion(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const iters = 25
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var rw RWLock
 		var ractive, wactive, violations atomic.Int32
 		check := func(ok bool) {
@@ -196,7 +235,7 @@ func TestChaosRWLockExclusion(t *testing.T) {
 func TestChaosSemaCounting(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const permits, nThreads, iters = 3, 6, 20
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var sema Sema
 		sema.Init(permits)
 		var inside, violations atomic.Int32
@@ -242,7 +281,7 @@ func TestChaosSemaCounting(t *testing.T) {
 func TestChaosCrossProcessMutex(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const iters = 30
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var holders, violations atomic.Int32
 		counter := 0
 		loop := func(ct *Thread, m *Mutex) {
@@ -310,7 +349,7 @@ func TestChaosCrossProcessMutex(t *testing.T) {
 // must see it held and block until the parent's release.
 func TestChaosForkHeldSharedLock(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var childBlocked, childGot atomic.Bool
 		p := spawn(t, sys, "chaos-forklock", ProcConfig{}, func(p *Proc, tt *Thread) {
 			fd, _ := p.Open(tt, "/tmp/chaos-locked", OCreate|ORdWr)
@@ -366,7 +405,7 @@ func TestChaosForkHeldSharedLock(t *testing.T) {
 // signal.
 func TestChaosSignalMasks(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var maskedT, openT atomic.Pointer[Thread]
 		var gotMasked, gotOpen atomic.Int32
 		var earlyMasked atomic.Bool
@@ -520,7 +559,7 @@ func (b *brokenMutex) exit() { b.locked = false }
 // exercise proves nothing.
 func TestChaosCatchesBrokenMutex(t *testing.T) {
 	for seed := uint64(1); seed <= 20; seed++ {
-		sys := NewSystem(chaosOpts(1, seed))
+		sys := chaosSystem(t, chaosOpts(1, seed))
 		var bm brokenMutex
 		var holders, violations atomic.Int32
 		p := spawn(t, sys, "chaos-broken", ProcConfig{DisableSigwaiting: true}, func(p *Proc, tt *Thread) {

@@ -69,7 +69,7 @@ func TestChaosExhaustionUnwind(t *testing.T) {
 	)
 	var sweepFailures atomic.Int64
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(faultOpts(2, seed))
+		sys := chaosSystem(t, faultOpts(2, seed))
 		cfg := ProcConfig{LWPLimit: lwpLimit, MaxThreads: maxThreads}
 		var mu Mutex
 		counter := 0
@@ -168,7 +168,7 @@ func TestChaosExhaustionAddressSpace(t *testing.T) {
 		mapLen  = 64 << 10
 	)
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(faultOpts(2, seed))
+		sys := chaosSystem(t, faultOpts(2, seed))
 		cfg := ProcConfig{ASLimitBytes: asLimit}
 		p := spawnFault(t, sys, "exhaust-vm", cfg, func(p *Proc, tt *Thread) {
 			base := p.AS.Mapped()

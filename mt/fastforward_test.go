@@ -1,0 +1,134 @@
+package mt
+
+// System-level fast-forward: Options.FastForward puts the machine on
+// the virtual fast-forward clock, so sleep-heavy workloads complete
+// in the time their computation takes, not the time they sleep.
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFastForwardSleepHeavyWorkload: threads sleeping a combined 9+
+// virtual seconds finish in real milliseconds, the virtual clock lands
+// past the last deadline, and the jumps are stamped into the event
+// rings as EvFastForward records.
+func TestFastForwardSleepHeavyWorkload(t *testing.T) {
+	sys := NewSystem(Options{
+		NCPU:        1,
+		FastForward: true,
+		EventRing:   1 << 12,
+	})
+	start := time.Now()
+	p := spawn(t, sys, "ff-sleepers", ProcConfig{}, func(p *Proc, tt *Thread) {
+		rt := tt.Runtime()
+		var ids []ThreadID
+		for i := 0; i < 3; i++ {
+			i := i
+			c, err := rt.Create(func(ct *Thread, _ any) {
+				for j := 0; j < 3; j++ {
+					d := time.Duration(i+1) * time.Second
+					if err := p.Sleep(ct, d); err != nil {
+						t.Errorf("sleep: %v", err)
+						return
+					}
+				}
+			}, nil, CreateOpts{Flags: ThreadWait})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids = append(ids, c.ID())
+		}
+		for _, id := range ids {
+			tt.Wait(id)
+		}
+	})
+	waitProc(t, p)
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("9s of virtual sleeping took %v real time; fast-forward is not jumping", elapsed)
+	}
+	ff := sys.FastForward()
+	if ff == nil {
+		t.Fatal("Options.FastForward set but System.FastForward() is nil")
+	}
+	if now := sys.Clock().Now(); now < 9*time.Second {
+		t.Fatalf("virtual clock at %v after a 3x3s sleeper, want >= 9s", now)
+	}
+	jumps, skipped := ff.Stats()
+	if jumps == 0 || skipped < 8*time.Second {
+		t.Fatalf("Stats() = %d jumps, %v skipped; want jumps > 0 and most of the 9s skipped",
+			jumps, skipped)
+	}
+	var ffEvents int
+	for _, r := range sys.Events().Kinds(EvFastForward) {
+		ffEvents++
+		if r.Arg == 0 {
+			t.Error("EvFastForward with zero skipped-nanoseconds arg")
+		}
+	}
+	if ffEvents == 0 {
+		t.Fatal("no EvFastForward records in the rings despite jumps")
+	}
+}
+
+// TestFastForwardUnderChaos: the fast-forward clock composes with
+// chaos timer jitter (deadlines are perturbed as they are armed, the
+// jump honors the jittered order) and with the perturbed schedules of
+// a sweep — a timed-wait workload keeps its invariants and still
+// finishes in real milliseconds.
+func TestFastForwardUnderChaos(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		o := chaosOpts(2, seed)
+		o.FastForward = true
+		sys := NewSystem(o)
+		start := time.Now()
+		var woken int
+		p := spawn(t, sys, "ff-chaos", ProcConfig{}, func(p *Proc, tt *Thread) {
+			rt := tt.Runtime()
+			// Two LWPs: the parent's kernel sleeps hold its LWP (a
+			// timed sleep is not "indefinite", so no SIGWAITING
+			// growth), and the timed waiter needs one of its own —
+			// the paper's thr_setconcurrency remedy.
+			rt.SetConcurrency(2)
+			var mu Mutex
+			var cv Cond
+			done := false
+			c, err := rt.Create(func(ct *Thread, _ any) {
+				mu.Enter(ct)
+				for !done {
+					// Timed waits hours out: only a jumping clock
+					// meets the real-time budget below.
+					cv.TimedWait(ct, &mu, time.Hour)
+					woken++
+				}
+				mu.Exit(ct)
+			}, nil, CreateOpts{Flags: ThreadWait})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Sleep half-hours until the waiter has timed out at
+			// least once (chaos may EINTR any individual sleep —
+			// just sleep again).
+			mu.Enter(tt)
+			for woken == 0 {
+				mu.Exit(tt)
+				_ = p.Sleep(tt, 30*time.Minute)
+				mu.Enter(tt)
+			}
+			done = true
+			cv.Broadcast(tt)
+			mu.Exit(tt)
+			tt.Wait(c.ID())
+		})
+		waitProc(t, p)
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Fatalf("seed %d: hours of virtual waiting took %v real time", seed, elapsed)
+		}
+		if woken == 0 {
+			t.Fatalf("seed %d: the timed waiter never woke", seed)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func blockedOnMutex(th *Thread) bool {
 // the moment the chain is fully formed, then the drain back to base.
 func TestChaosPriorityInheritance(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var mu1, mu2 Mutex
 		var gate1, sig1, sig2 Sema
 		var afterLow, afterMid, afterHigh atomic.Int32
@@ -120,7 +120,7 @@ func TestChaosPriorityInheritance(t *testing.T) {
 func TestChaosInheritanceDrains(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const iters = 20
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var mu1, mu2 Mutex
 		var leaks atomic.Int32
 		p := spawn(t, sys, "chaos-pi-drain", ProcConfig{}, func(p *Proc, tt *Thread) {

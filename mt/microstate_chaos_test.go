@@ -20,7 +20,7 @@ import (
 // thread's and each LWP's microstate times telescope: Sum() == Total.
 func TestChaosMicrostateTotals(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 
 		var reg sync.Mutex
 		var threads []*Thread

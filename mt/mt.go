@@ -25,6 +25,7 @@
 package mt
 
 import (
+	"io"
 	"time"
 
 	"sunosmt/internal/chaos"
@@ -253,6 +254,15 @@ type Options struct {
 	// perturbation for replay. Build one with NewChaos or
 	// chaos.New.
 	Chaos *ChaosSource
+	// FastForward selects the virtual fast-forward clock (ignored
+	// when Clock is set): time tracks the wall clock while any LWP
+	// can run, but the moment every LWP is blocked with a timer
+	// pending, the clock jumps straight to the next deadline and
+	// fires it. Sleep-heavy workloads finish in the time their
+	// computation takes rather than the time they sleep. Chaos timer
+	// jitter composes: jitter perturbs deadlines as they are armed,
+	// and the jump honors the jittered order.
+	FastForward bool
 }
 
 // Chaos re-exports: seeded schedule exploration and fault injection.
@@ -293,7 +303,11 @@ func NewSystem(o Options) *System {
 	var tr *trace.Buffer
 	clk := o.Clock
 	if clk == nil {
-		clk = ktime.NewReal()
+		if o.FastForward {
+			clk = ktime.NewFastForward()
+		} else {
+			clk = ktime.NewReal()
+		}
 	}
 	if o.Chaos != nil && o.Chaos.Enabled() {
 		clk = ktime.NewJittered(clk, o.Chaos.Jitter)
@@ -322,6 +336,13 @@ func NewSystem(o Options) *System {
 		cfg.Rings = rings
 	}
 	k := sim.NewKernel(cfg)
+	if ff := k.FastForward(); ff != nil && rings != nil {
+		// Stamp every jump into the rings so a trace of a
+		// fast-forwarded run shows where virtual time leapt.
+		ff.SetOnJump(func(from, to time.Duration) {
+			rings.Record(-1, trace.EvFastForward, 0, 0, 0, uint64(to-from))
+		})
+	}
 	s := &System{
 		Kern:  k,
 		FS:    vfs.NewFS(k),
@@ -359,16 +380,72 @@ type (
 
 // Event kinds recorded in the rings.
 const (
-	EvDispatch   = trace.EvDispatch
-	EvPreempt    = trace.EvPreempt
-	EvWakeup     = trace.EvWakeup
-	EvMigrate    = trace.EvMigrate
-	EvSigwaiting = trace.EvSigwaiting
-	EvLockBlock  = trace.EvLockBlock
-	EvThreadRun  = trace.EvThreadRun
-	EvThreadPark = trace.EvThreadPark
-	EvSteal      = trace.EvSteal
+	EvDispatch    = trace.EvDispatch
+	EvPreempt     = trace.EvPreempt
+	EvWakeup      = trace.EvWakeup
+	EvMigrate     = trace.EvMigrate
+	EvSigwaiting  = trace.EvSigwaiting
+	EvLockBlock   = trace.EvLockBlock
+	EvThreadRun   = trace.EvThreadRun
+	EvThreadPark  = trace.EvThreadPark
+	EvSteal       = trace.EvSteal
+	EvBalance     = trace.EvBalance
+	EvFastForward = trace.EvFastForward
 )
+
+// Time-travel re-exports: schedule journals, replay, and trace export.
+type (
+	// ScheduleJournal is one run's serialized scheduling history:
+	// every chaos decision plus the resulting ring events.
+	ScheduleJournal = trace.Journal
+	// ScheduleDecision is one recorded chaos decision.
+	ScheduleDecision = trace.Decision
+	// ReplayDivergence pinpoints where a replayed run left the
+	// recorded schedule.
+	ReplayDivergence = chaos.Divergence
+	// FastForwardClock is the virtual fast-forward clock (see
+	// Options.FastForward).
+	FastForwardClock = ktime.FastForward
+)
+
+// ReadJournal parses a serialized schedule journal.
+func ReadJournal(r io.Reader) (*ScheduleJournal, error) { return trace.ReadJournal(r) }
+
+// ReadJournalFile parses a schedule journal file.
+func ReadJournalFile(path string) (*ScheduleJournal, error) { return trace.ReadJournalFile(path) }
+
+// NewReplayChaos returns a chaos source that re-issues the journal's
+// recorded decision stream; pass it as Options.Chaos to drive a fresh
+// run back down the recorded schedule. Source.Divergence reports the
+// first point where the live run stopped matching the recording.
+func NewReplayChaos(j *ScheduleJournal) (*ChaosSource, error) { return chaos.NewReplay(j) }
+
+// WritePerfetto renders a ring snapshot as Chrome trace JSON for
+// ui.perfetto.dev or chrome://tracing.
+func WritePerfetto(w io.Writer, recs []EventRecord) error { return trace.WritePerfetto(w, recs) }
+
+// FirstEventDivergence compares two event sequences (ignoring
+// timestamps and sequence numbers) and returns the index of the first
+// mismatch, or -1 when the schedules are identical.
+func FirstEventDivergence(a, b []EventRecord) int { return trace.FirstEventDivergence(a, b) }
+
+// Schedule snapshots the system's schedule journal: the chaos
+// decision stream recorded so far (enable with
+// Options.Chaos.StartRecording before running the workload) plus the
+// retained ring events. Write it out with ScheduleJournal.WriteFile
+// and replay it with NewReplayChaos.
+func (s *System) Schedule() *ScheduleJournal {
+	j := s.Kern.Chaos().Schedule()
+	if s.rings != nil {
+		recs, _ := s.rings.Snapshot()
+		j.Events = recs
+	}
+	return j
+}
+
+// FastForward returns the system's fast-forward clock, or nil when
+// Options.FastForward was not set.
+func (s *System) FastForward() *ktime.FastForward { return s.Kern.FastForward() }
 
 // Dispatcher re-exports: scheduling classes, processor sets, and the
 // per-CPU dispatch-queue statistics.

@@ -25,7 +25,7 @@ import (
 func TestChaosRobustMutexKill(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const survivors, iters = 3, 8
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var holding atomic.Bool
 		var ownerDead, holders, violations atomic.Int32
 		victim := spawn(t, sys, "victim", ProcConfig{}, func(p *Proc, tt *Thread) {
@@ -100,7 +100,7 @@ func TestChaosRobustMutexKill(t *testing.T) {
 func TestChaosRobustSemaKill(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const survivors, iters = 3, 8
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var holding atomic.Bool
 		var ownerDead, holders, violations atomic.Int32
 		victim := spawn(t, sys, "victim", ProcConfig{}, func(p *Proc, tt *Thread) {
@@ -201,7 +201,7 @@ func abbaProc(t *testing.T, sys *System, name string, firstOff, secondOff int64,
 // (the sweep reclaims both locks).
 func TestChaosCrossProcessABBADetection(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		var aReady, bReady atomic.Bool
 		pa := abbaProc(t, sys, "pa", 0, 64, &aReady, &bReady)
 		pb := abbaProc(t, sys, "pb", 64, 0, &bReady, &aReady)
@@ -249,7 +249,7 @@ func TestChaosCrossProcessABBADetection(t *testing.T) {
 // with a global lock order never deadlocks and is never flagged.
 func TestChaosCrossProcessLockOrderNegativeControl(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
-		sys := NewSystem(chaosOpts(2, seed))
+		sys := chaosSystem(t, chaosOpts(2, seed))
 		// Both take offset 0 then 64: ordered, no cycle possible. (No
 		// ready-handshake here — holding the first lock while waiting
 		// for the peer would itself deadlock under a global order.)

@@ -22,7 +22,7 @@ import (
 func TestChaosStealWorkConservation(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const nYield, nPairs, iters = 4, 2, 30
-		sys := NewSystem(chaosOpts(4, seed))
+		sys := chaosSystem(t, chaosOpts(4, seed))
 		// A second pset splits the machine so the invariant is
 		// checked per set, with a bound thread keeping it non-empty.
 		ps := sys.PsetCreate()
@@ -133,7 +133,7 @@ func TestChaosStealWorkConservation(t *testing.T) {
 func TestChaosStealPsetConfinement(t *testing.T) {
 	sweep(t, func(t *testing.T, seed uint64) {
 		const nBound, nFree, iters = 2, 4, 30
-		sys := NewSystem(chaosOpts(4, seed))
+		sys := chaosSystem(t, chaosOpts(4, seed))
 		ps := sys.PsetCreate()
 		for _, cpu := range []int{2, 3} {
 			if err := sys.PsetAssign(ps, cpu); err != nil {
