@@ -39,8 +39,11 @@ func main() {
 		r := t.Runtime()
 		r.SetConcurrency(2)
 		var ids []mt.ThreadID
-		// A held mutex with a waiter, so -locks has an edge to show.
+		// A held mutex with a waiter, so -locks has an edge to show;
+		// ticket policy so the lstatus POLICY column shows a
+		// non-default entry.
 		var mu mt.Mutex
+		mu.InitPolicy(mt.PolicyTicket)
 		mu.Enter(t)
 		w, _ := r.Create(func(c *mt.Thread, _ any) {
 			mu.Enter(c)

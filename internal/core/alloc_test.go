@@ -100,6 +100,45 @@ func TestParkUnparkZeroAlloc(t *testing.T) {
 	waitExit(t, m)
 }
 
+// TestMassCreateColdPathAllocBound pins the slab-batched cold path:
+// creating a thread with an empty freelist must cost at most ~1 host
+// allocation — the per-thread gate channel — because the Thread
+// shell, aux block, and sleep-queue bucket are carved from slabs of
+// threadSlabBatch, whose refill allocations amortize to a fraction of
+// an object per thread. Before the batching, each cold create paid
+// for every one of those objects (and their internal slices)
+// individually. The created threads are kept un-run so no shell is
+// ever recycled: every measured create takes the cold path.
+func TestMassCreateColdPathAllocBound(t *testing.T) {
+	m := rt(t, 1, Config{}, func(self *Thread, _ any) {
+		r := self.Runtime()
+		ids := make([]ThreadID, 0, 2048)
+		cycle := func() {
+			c, err := r.Create(func(*Thread, any) {}, nil, CreateOpts{Flags: ThreadWait})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids = append(ids, c.ID())
+		}
+		for i := 0; i < 64; i++ {
+			cycle() // settle one-time table growth outside the window
+		}
+		if avg := testing.AllocsPerRun(1000, cycle); avg > 1.5 {
+			t.Errorf("cold-path create allocates %.2f objects/thread, want <= 1.5 (gate channel + amortized slab refills)", avg)
+		}
+		for r.RunnableThreads() > 0 {
+			self.Yield()
+		}
+		for _, id := range ids {
+			if _, err := self.Wait(id); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	waitExit(t, m)
+}
+
 // TestThreadShellRecycled verifies the freelist actually recycles: a
 // create after an unwaited exit reuses the same Thread struct.
 func TestThreadShellRecycled(t *testing.T) {

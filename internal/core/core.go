@@ -111,6 +111,18 @@ type Config struct {
 	// or sleep, for longer than this is flagged stuck. Zero selects
 	// the default (1s). See Runtime.Health.
 	WatchdogDeadline time.Duration
+	// LockPolicy selects the process-default mutex lock/wake policy
+	// for tsync mutexes that do not pin one per-lock. The values are
+	// tsync's Policy constants (core cannot import tsync); 0 selects
+	// the adaptive default. The per-process ablation knob beside
+	// NoPriorityInheritance for the lock-policy shootout.
+	LockPolicy int
+	// LockWaitSampleCap, when positive, keeps a bounded ring of the
+	// most recent per-interval lock-wait times (one sample per
+	// MSLock episode, from the microstate clock) for tail-latency
+	// percentiles. Zero disables sampling; cumulative MSLock
+	// microstate accounting is unaffected either way.
+	LockWaitSampleCap int
 }
 
 // Runtime is the threads library instance for one process.
@@ -169,6 +181,23 @@ type Runtime struct {
 	// instead of spawning a goroutine (and paying its closure
 	// allocation). See Runtime.animate.
 	idleAnim []chan *Thread
+
+	// Thread-shell slab: the mass-create cold path carves Thread,
+	// threadAux, and wait-channel buckets from batch-allocated arrays
+	// instead of paying one host allocation each per thread. Guarded
+	// by mu. See allocThreadLocked.
+	slabT    []Thread
+	slabA    []threadAux
+	slabB    []sleepqBucket
+	slabUsed int
+
+	// lockWaitRing is the bounded ring of recent MSLock wait
+	// intervals (LockWaitSampleCap > 0): one duration per completed
+	// lock-wait episode, overwriting the oldest past the cap. Guarded
+	// by mu (fed from msSwitchLocked, which already holds it).
+	lockWaitRing []time.Duration
+	lockWaitPos  int
+	lockWaitN    uint64 // total episodes observed (can exceed cap)
 }
 
 // poolLWP is one LWP dedicated to running unbound threads.
@@ -308,6 +337,7 @@ func (m *Runtime) sweepDying() {
 	m.stackCache = nil
 	m.tlsCache = nil
 	m.tcache = nil
+	m.slabT, m.slabA, m.slabB, m.slabUsed = nil, nil, nil, 0
 	anims := m.idleAnim
 	m.idleAnim = nil
 	m.mu.Unlock()
@@ -710,4 +740,36 @@ func (m *Runtime) PoolSize() int {
 // (lock-free: the dispatcher keeps a global count).
 func (m *Runtime) RunnableThreads() int {
 	return m.disp.len()
+}
+
+// LockPolicy reports the process-default lock policy configured for
+// this runtime (tsync's Policy constants; 0 = adaptive default).
+func (m *Runtime) LockPolicy() int { return m.cfg.LockPolicy }
+
+// recordLockWaitLocked appends one completed MSLock episode to the
+// sample ring. Runtime.mu is held (called from msSwitchLocked).
+func (m *Runtime) recordLockWaitLocked(d time.Duration) {
+	n := m.cfg.LockWaitSampleCap
+	if n <= 0 {
+		return
+	}
+	if len(m.lockWaitRing) < n {
+		m.lockWaitRing = append(m.lockWaitRing, d)
+	} else {
+		m.lockWaitRing[m.lockWaitPos] = d
+		m.lockWaitPos = (m.lockWaitPos + 1) % n
+	}
+	m.lockWaitN++
+}
+
+// LockWaitSamples returns a copy of the retained per-episode lock-wait
+// intervals (most recent LockWaitSampleCap episodes, unordered beyond
+// ring rotation) and the total number of episodes observed. The
+// percentile source for the lock-policy shootout (mtbench fig 12).
+func (m *Runtime) LockWaitSamples() ([]time.Duration, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]time.Duration, len(m.lockWaitRing))
+	copy(out, m.lockWaitRing)
+	return out, m.lockWaitN
 }

@@ -50,6 +50,10 @@ type BlockInfo struct {
 	// Objects with no single local owner (cond, sema, process-shared
 	// variants) leave it nil, which ends the chain there.
 	Ts *Turnstile
+	// Policy names the blocking object's lock/wake policy ("adaptive",
+	// "ticket", "queue", "parkinglot"); empty for objects without one.
+	// Surfaced through /proc lstatus and mtstat -locks.
+	Policy string
 }
 
 // NoteBlocked publishes that the thread is about to park waiting for
@@ -76,6 +80,7 @@ type LockWaiter struct {
 	TID      ThreadID
 	Kind     string
 	Name     string
+	Policy   string // the object's lock policy; empty when it has none
 	Owner    OwnerRef
 	HasOwner bool
 }
@@ -97,7 +102,7 @@ func (m *Runtime) LockWaiters() []LockWaiter {
 	m.mu.Unlock()
 	out := make([]LockWaiter, 0, len(rs))
 	for _, r := range rs {
-		w := LockWaiter{TID: r.tid, Kind: r.bi.Kind, Name: r.bi.Name}
+		w := LockWaiter{TID: r.tid, Kind: r.bi.Kind, Name: r.bi.Name, Policy: r.bi.Policy}
 		if r.bi.Owner != nil {
 			if ref, ok := r.bi.Owner(); ok {
 				w.Owner, w.HasOwner = ref, true

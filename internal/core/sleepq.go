@@ -47,17 +47,43 @@ var (
 )
 
 // sleepqBucket is one channel's queue of waiters — descending
-// effective priority, FIFO among equals — linked intrusively through
-// Thread.sqNext/sqPrev; guarded by its shard's lock.
+// effective priority, FIFO among equals (or strict FIFO when fifo is
+// set) — linked intrusively through Thread.sqNext/sqPrev; guarded by
+// its shard's lock.
 type sleepqBucket struct {
 	shard      uint64
 	head, tail *Thread
 	n          int
+
+	// fifo marks a strict arrival-order queue (ticket and MCS/CLH
+	// lock policies hand the lock to the oldest waiter regardless of
+	// priority). A fifo bucket's head is NOT its highest-priority
+	// waiter, so priority scans (heldMaxLocked) must walk the whole
+	// queue and reposition is a no-op. Immutable after allocation.
+	fifo bool
 }
 
 // AllocWaitChan allocates a fresh sleep channel, assigning it a shard.
 func AllocWaitChan() WaitChan {
-	return WaitChan{&sleepqBucket{shard: sleepqSeq.Add(1) & (sleepqShards - 1)}}
+	b := &sleepqBucket{}
+	initBucket(b, false)
+	return WaitChan{b}
+}
+
+// AllocWaitChanFIFO allocates a strict arrival-order sleep channel for
+// hand-off lock policies (ticket, MCS/CLH): Enqueue appends at the
+// tail unconditionally and priority changes never re-sort the queue.
+func AllocWaitChanFIFO() WaitChan {
+	b := &sleepqBucket{}
+	initBucket(b, true)
+	return WaitChan{b}
+}
+
+// initBucket readies a zeroed bucket (fresh or slab-carved), assigning
+// its shard.
+func initBucket(b *sleepqBucket, fifo bool) {
+	b.shard = sleepqSeq.Add(1) & (sleepqShards - 1)
+	b.fifo = fifo
 }
 
 // Valid reports whether the channel has been allocated.
@@ -84,7 +110,7 @@ func (wc WaitChan) Enqueue(t *Thread) {
 func (b *sleepqBucket) insertLocked(t *Thread) {
 	t.sqBkt.Store(b)
 	p := t.effPrio.Load()
-	if b.tail == nil || b.tail.effPrio.Load() >= p {
+	if b.fifo || b.tail == nil || b.tail.effPrio.Load() >= p {
 		// Empty, or t belongs at the tail (the usual FIFO case).
 		t.sqNext = nil
 		t.sqPrev = b.tail
@@ -117,6 +143,12 @@ func (b *sleepqBucket) insertLocked(t *Thread) {
 // the shard lock is a leaf. t.sqBkt stays set throughout so a
 // concurrent teardown (sleepqDetach) never misses the thread.
 func (wc WaitChan) reposition(t *Thread) {
+	if wc.b.fifo {
+		// Strict arrival order: a priority change never moves a
+		// waiter. (Inheritance still sees it — heldMaxLocked walks
+		// fifo queues in full.)
+		return
+	}
 	mu := wc.lock()
 	mu.Lock()
 	if t.sqBkt.Load() == wc.b {

@@ -131,10 +131,21 @@ func (m *Runtime) freeThreadLocked(t *Thread) {
 	m.pushFreeLocked(t)
 }
 
+// threadSlabBatch is how many Thread shells the cold path reserves per
+// slab refill: the struct, aux block, and wait-channel bucket for 64
+// threads cost 3 host allocations instead of 192, so a mass create
+// pays ~1 allocation per thread (the gate channel, which the Go
+// runtime will not let us batch) plus amortized slab refills.
+const threadSlabBatch = 64
+
 // allocThreadLocked returns a Thread shell for Create: a recycled one
 // from the freelist (scrubbed here, at reuse, so post-mortem handle
-// reads stay valid until recycling — like pthread_t reuse) or a fresh
-// allocation. Caller holds m.mu.
+// reads stay valid until recycling — like pthread_t reuse) or a carve
+// from the shell slab. Caller holds m.mu.
+//
+// A slab batch stays reachable while any of its shells is live; that
+// is the same retention shape as the freelist and is bounded by the
+// batch size.
 func (m *Runtime) allocThreadLocked() *Thread {
 	if n := len(m.tcache); n > 0 {
 		t := m.tcache[n-1]
@@ -143,11 +154,21 @@ func (m *Runtime) allocThreadLocked() *Thread {
 		t.scrubLocked()
 		return t
 	}
-	return &Thread{
-		gate:   make(chan struct{}, 1),
-		waitWC: AllocWaitChan(),
-		aux:    &threadAux{},
+	if m.slabUsed == len(m.slabT) {
+		m.slabT = make([]Thread, threadSlabBatch)
+		m.slabA = make([]threadAux, threadSlabBatch)
+		m.slabB = make([]sleepqBucket, threadSlabBatch)
+		m.slabUsed = 0
 	}
+	i := m.slabUsed
+	m.slabUsed++
+	b := &m.slabB[i]
+	initBucket(b, false)
+	t := &m.slabT[i]
+	t.gate = make(chan struct{}, 1)
+	t.waitWC = WaitChan{b}
+	t.aux = &m.slabA[i]
+	return t
 }
 
 // scrubLocked resets a recycled shell to the zero state a fresh

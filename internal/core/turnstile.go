@@ -160,10 +160,14 @@ func (t *Thread) WillPriority() {
 }
 
 // heldMaxLocked returns the highest effective priority among the
-// waiters of every turnstile t holds, or -1. Buckets are ordered by
-// effective priority (and kept ordered by reposition), so only each
-// queue's head is read — O(1) per held turnstile. Runtime.mu is held;
-// the shard locks are leaves.
+// waiters of every turnstile t holds, or -1. Priority-ordered buckets
+// (kept sorted by reposition) need only their head read — O(1) per
+// held turnstile. FIFO buckets (hand-off lock policies) keep arrival
+// order, so the head is not the maximum and the whole queue is walked;
+// queue depth there is bounded by the lock's contention, and the walk
+// is what keeps the inheritance invariant (owner runs at ≥ the best
+// blocked waiter) independent of wakeup order. Runtime.mu is held; the
+// shard locks are leaves.
 func (m *Runtime) heldMaxLocked(t *Thread) int {
 	best := -1
 	for ts := t.heldTs; ts != nil; ts = ts.next {
@@ -174,7 +178,13 @@ func (m *Runtime) heldMaxLocked(t *Thread) int {
 			}
 			mu := &sleepqLock[b.shard]
 			mu.Lock()
-			if h := b.head; h != nil {
+			if b.fifo {
+				for w := b.head; w != nil; w = w.sqNext {
+					if p := int(w.effPrio.Load()); p > best {
+						best = p
+					}
+				}
+			} else if h := b.head; h != nil {
 				if p := int(h.effPrio.Load()); p > best {
 					best = p
 				}
@@ -183,6 +193,59 @@ func (m *Runtime) heldMaxLocked(t *Thread) int {
 		}
 	}
 	return best
+}
+
+// HandOff transfers turnstile ownership from the releasing thread
+// directly to to, the waiter being granted the lock, without an
+// unowned window: in one Runtime.mu critical section the turnstile
+// moves from from's held list to to's, from sheds any boost it was
+// inheriting through this object, and to is boosted from the waiters
+// still queued behind it — so the inheritance invariant (an owner runs
+// at at least the effective priority of its best blocked waiter) holds
+// across the hand-off itself. Used by the hand-off lock policies
+// (ticket, MCS/CLH); the barging policies use Released + Acquired.
+// Called under the object's word lock, with to already dequeued from
+// the waiter queue.
+func (ts *Turnstile) HandOff(from, to *Thread) {
+	m := from.m
+	m.mu.Lock()
+	if ts.owner == from {
+		ts.unlinkLocked(from)
+	} else if ts.owner != nil {
+		// Stale owner (should not happen for local primitives) —
+		// unhook it so the links stay consistent.
+		ts.unlinkLocked(ts.owner)
+	}
+	// Recompute the releaser first: any boost willed through this
+	// object is shed now that its waiters are to's problem.
+	effFrom := from.prio
+	if h := m.heldMaxLocked(from); h > effFrom {
+		effFrom = h
+	}
+	mirrorFrom := m.setEffLocked(from, effFrom)
+
+	// Link the turnstile to the new owner and boost it from the
+	// waiters still queued. to is typically sleeping (about to be
+	// unparked); setEffLocked repositions it if needed.
+	ts.owner = to
+	ts.prev = nil
+	ts.next = to.heldTs
+	if to.heldTs != nil {
+		to.heldTs.prev = ts
+	}
+	to.heldTs = ts
+	effTo := to.prio
+	if h := m.heldMaxLocked(to); h > effTo {
+		effTo = h
+	}
+	mirrorTo := m.setEffLocked(to, effTo)
+	m.mu.Unlock()
+	if mirrorFrom {
+		m.mirrorBoundPrio(from)
+	}
+	if mirrorTo {
+		m.mirrorBoundPrio(to)
+	}
 }
 
 // setEffLocked installs a new effective priority, moving the thread

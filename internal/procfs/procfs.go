@@ -275,7 +275,7 @@ func (pfs *ProcFS) threadStatus(rt *core.Runtime) []byte {
 func (pfs *ProcFS) lockStatus(rt *core.Runtime) []byte {
 	pid := rt.Process().PID()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %-8s %-20s %s\n", "TID", "KIND", "OBJECT", "OWNER")
+	fmt.Fprintf(&sb, "%-6s %-8s %-20s %-10s %s\n", "TID", "KIND", "OBJECT", "POLICY", "OWNER")
 	for _, w := range rt.LockWaiters() {
 		owner := "-"
 		if w.HasOwner {
@@ -285,7 +285,11 @@ func (pfs *ProcFS) lockStatus(rt *core.Runtime) []byte {
 			}
 			owner = fmt.Sprintf("%d/%d", opid, w.Owner.TID)
 		}
-		fmt.Fprintf(&sb, "%-6d %-8s %-20s %s\n", w.TID, w.Kind, w.Name, owner)
+		policy := w.Policy
+		if policy == "" {
+			policy = "-"
+		}
+		fmt.Fprintf(&sb, "%-6d %-8s %-20s %-10s %s\n", w.TID, w.Kind, w.Name, policy, owner)
 	}
 	cycles := core.DetectDeadlocks(pfs.runtimes())
 	n := 0

@@ -28,6 +28,18 @@ type Mutex struct {
 	ts      core.Turnstile // priority-inheritance anchor (local only)
 	name    string         // lazily assigned; identifies the lock in lstatus
 
+	// policy is the configured lock/wake policy (InitPolicy); pinned
+	// is its resolved implementation, fixed at first use so the
+	// waiter-queue discipline never changes mid-life. See policy.go.
+	policy Policy
+	pinned lockPolicy
+
+	// qhead/qtail chain the queue policy's explicit MCS nodes; plSeq
+	// counts the parking-lot policy's releases for its fairness
+	// hand-off. All under the word lock.
+	qhead, qtail *mcsNode
+	plSeq        uint64
+
 	// sv, when non-nil, makes this a process-shared mutex whose
 	// state lives in mapped memory at the variable's offset:
 	// word 0 = lock state, word 1 = waiter count, word 2 = owner
@@ -43,6 +55,19 @@ const MutexShmSize = 32
 // on a held mutex is a programming error the library does not check
 // for, as in the original.
 func (mp *Mutex) Init(v Variant) { mp.variant = v }
+
+// InitPolicy pins this lock's lock/wake policy (see Policy), overriding
+// the process default. Like Init, it must be called before first use;
+// once the mutex has been contended the policy is fixed.
+func (mp *Mutex) InitPolicy(p Policy) {
+	mp.mu.Lock()
+	mp.policy = p
+	mp.mu.Unlock()
+}
+
+// LockPolicy reports the lock's policy: the resolved one once the
+// mutex has been used, the configured one before that.
+func (mp *Mutex) LockPolicy() string { return mp.policyName() }
 
 // InitShared binds the mutex to shared state at (obj, off) resolved
 // through reg — the USYNC_PROCESS variant. Threads in any process
@@ -82,7 +107,7 @@ func (mp *Mutex) blockInfo() *core.BlockInfo {
 			return core.OwnerRef{PID: pid, TID: core.ThreadID(tid)}, true
 		}}
 	}
-	return &core.BlockInfo{Kind: "mutex", Name: name, Ts: &mp.ts, Owner: func() (core.OwnerRef, bool) {
+	return &core.BlockInfo{Kind: "mutex", Name: name, Ts: &mp.ts, Policy: mp.policyName(), Owner: func() (core.OwnerRef, bool) {
 		mp.mu.Lock()
 		o := mp.owner
 		mp.mu.Unlock()
@@ -156,101 +181,11 @@ func (mp *Mutex) MakeConsistent(t *core.Thread) bool {
 	return ok
 }
 
-// enterLocal is the unshared acquisition path. d > 0 bounds the wait.
+// enterLocal is the unshared acquisition path: it resolves the lock's
+// policy (per-lock InitPolicy, else the process default) and runs its
+// acquisition loop. d > 0 bounds the wait.
 func (mp *Mutex) enterLocal(t *core.Thread, d time.Duration) error {
-	spin := mp.variant == VariantSpin
-	adaptive := mp.variant == VariantAdaptive || mp.variant == VariantDefault
-	spins := 0
-	clk := t.Runtime().Kernel().Clock()
-	var deadline time.Duration
-	if d > 0 {
-		deadline = clk.Now() + d
-	}
-	var bi *core.BlockInfo
-	for {
-		mp.mu.Lock()
-		if !mp.held {
-			mp.held = true
-			mp.owner = t
-			mp.ts.Acquired(t)
-			mp.mu.Unlock()
-			return nil
-		}
-		owner := mp.owner
-		mp.mu.Unlock()
-		if mp.variant == VariantErrorCheck && owner != nil {
-			// EDEADLK at lock time: self-ownership, or the
-			// wait-for graph shows the owner (transitively)
-			// waiting on us. Checked before parking.
-			if owner == t || t.Runtime().WouldDeadlock(t, owner) {
-				return ErrDeadlock
-			}
-		}
-		if d > 0 && clk.Now() >= deadline {
-			return ErrTimedOut
-		}
-		if spin {
-			t.Yield() // let the holder run; never park
-			continue
-		}
-		if adaptive && owner != nil && owner.OnCPU() && spins < adaptiveSpinCap {
-			// Adaptive phase, as in the real Solaris adaptive mutex:
-			// spin only while the owner is observed executing on a
-			// processor — its release is then likely imminent and
-			// cheaper to catch than two context switches. The moment
-			// the owner is seen off-CPU (preempted, blocked), fall
-			// through and park.
-			spins++
-			t.Yield()
-			continue
-		}
-		// Queue and park. The enqueue happens under the word
-		// lock; the wake permit protocol in core makes the
-		// release-side unpark race-free.
-		mp.mu.Lock()
-		if !mp.held {
-			mp.mu.Unlock()
-			continue // released between probes: re-try
-		}
-		mp.ts.SetQueue(mp.waiters.chanOf())
-		mp.waiters.push(t)
-		mp.mu.Unlock()
-		if chaosOf(t).SpuriousWakeup() {
-			// Chaos: the park returns with no real wake.
-			// Deregister (a real wake would have popped us)
-			// and re-contend.
-			mp.mu.Lock()
-			mp.waiters.remove(t)
-			mp.mu.Unlock()
-			t.Checkpoint()
-			continue
-		}
-		if bi == nil {
-			bi = mp.blockInfo()
-		}
-		t.NoteBlocked(bi)
-		// Will our effective priority down the ownership chain so
-		// the holder (and whatever it is blocked on) outranks us
-		// while we park — the turnstile priority inheritance.
-		t.WillPriority()
-		if d > 0 {
-			if timedOut := parkTimed(t, clk, deadline, func() bool {
-				mp.mu.Lock()
-				removed := mp.waiters.remove(t)
-				mp.mu.Unlock()
-				return removed
-			}); timedOut {
-				t.NoteUnblocked()
-				return ErrTimedOut
-			}
-		} else {
-			t.Park()
-		}
-		t.NoteUnblocked()
-		spins = 0 // a fresh contention round gets a fresh spin budget
-		// Loop: mutex may have been stolen by a barger; Mesa
-		// semantics, as with real adaptive locks.
-	}
+	return mp.impl(t).enter(mp, t, d)
 }
 
 // parkTimed parks t with a deadline. dequeue must atomically remove t
@@ -306,30 +241,16 @@ func (mp *Mutex) TryEnter(t *core.Thread) bool {
 	return true
 }
 
-// Exit releases the lock, unblocking one waiter (mutex_exit).
+// Exit releases the lock (mutex_exit): the policy either wakes the
+// best waiter into an open re-acquisition race (barging: adaptive,
+// parkinglot) or transfers ownership directly to the oldest waiter
+// (hand-off: ticket, queue).
 func (mp *Mutex) Exit(t *core.Thread) {
 	if mp.sv != nil {
 		mp.exitShared(t)
 		return
 	}
-	mp.mu.Lock()
-	if mp.variant == VariantErrorCheck {
-		if !mp.held || mp.owner != t {
-			mp.mu.Unlock()
-			panic("tsync: mutex_exit of a lock not held by the thread")
-		}
-	}
-	mp.owner = nil
-	mp.held = false
-	// Shed any boost willed through this lock; the handoff below
-	// wakes the highest-priority waiter (the queue is priority-
-	// ordered).
-	mp.ts.Released(t)
-	wake := mp.waiters.pop()
-	mp.mu.Unlock()
-	if wake != nil {
-		wake.Unpark()
-	}
+	mp.impl(t).exit(mp, t)
 }
 
 // Held reports whether the mutex is currently held (debugging aid).

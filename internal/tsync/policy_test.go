@@ -1,0 +1,217 @@
+package tsync
+
+import (
+	"testing"
+	"time"
+
+	"sunosmt/internal/core"
+)
+
+// TestPolicyMutualExclusion is the shared conformance suite: every
+// lock policy must provide mutual exclusion under oversubscription,
+// including with the owner descheduled mid-section (the Yield inside
+// the critical section forces the park/hand-off paths; a policy that
+// only ever grants via its spin phase is not exercised otherwise).
+func TestPolicyMutualExclusion(t *testing.T) {
+	for _, pol := range Policies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			w := newWorld(2)
+			var mu Mutex
+			mu.InitPolicy(pol)
+			var counter, holders int
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				r := self.Runtime()
+				r.SetConcurrency(2)
+				var ids []core.ThreadID
+				for i := 0; i < 4; i++ {
+					c, _ := r.Create(func(c *core.Thread, _ any) {
+						for j := 0; j < 200; j++ {
+							mu.Enter(c)
+							holders++
+							if holders != 1 {
+								t.Errorf("%d threads inside the critical section", holders)
+							}
+							counter++
+							if j%16 == 0 {
+								c.Yield() // deschedule while holding
+							}
+							holders--
+							mu.Exit(c)
+						}
+					}, nil, core.CreateOpts{Flags: core.ThreadWait})
+					ids = append(ids, c.ID())
+				}
+				for _, id := range ids {
+					self.Wait(id)
+				}
+			})
+			waitRT(t, m)
+			if counter != 800 {
+				t.Fatalf("policy %v: counter = %d, want 800 (lost updates)", pol, counter)
+			}
+			if got := mu.LockPolicy(); got != pol.String() {
+				t.Fatalf("LockPolicy() = %q, want %q", got, pol)
+			}
+		})
+	}
+}
+
+// TestPolicyProcessDefault pins the resolution chain: a zero-value
+// mutex in a process whose Config carries a LockPolicy uses that
+// policy, and reports it through LockPolicy() once pinned.
+func TestPolicyProcessDefault(t *testing.T) {
+	for _, pol := range Policies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			w := newWorld(2)
+			var mu Mutex // zero value: inherits the process default
+			var counter int
+			m := w.boot(t, "p", core.Config{LockPolicy: int(pol)}, func(self *core.Thread, _ any) {
+				r := self.Runtime()
+				r.SetConcurrency(2)
+				var ids []core.ThreadID
+				for i := 0; i < 3; i++ {
+					c, _ := r.Create(func(c *core.Thread, _ any) {
+						for j := 0; j < 150; j++ {
+							mu.Enter(c)
+							counter++
+							if j%32 == 0 {
+								c.Yield()
+							}
+							mu.Exit(c)
+						}
+					}, nil, core.CreateOpts{Flags: core.ThreadWait})
+					ids = append(ids, c.ID())
+				}
+				for _, id := range ids {
+					self.Wait(id)
+				}
+			})
+			waitRT(t, m)
+			if counter != 450 {
+				t.Fatalf("policy %v: counter = %d, want 450", pol, counter)
+			}
+			if got := mu.LockPolicy(); got != pol.String() {
+				t.Fatalf("LockPolicy() = %q, want %q (process default not inherited)", got, pol)
+			}
+		})
+	}
+}
+
+// TestHandOffFIFOGrantOrder pins the defining property of the
+// hand-off family: ticket and queue locks grant strictly in arrival
+// order, even when later waiters have higher priority (the barging
+// policies would wake the best waiter instead). Waiters are enqueued
+// one at a time on one LWP — each runs to its blocking Enter before
+// the next is created — with priorities increasing in arrival order,
+// so a priority-ordered discipline would grant in exactly the reverse
+// of the order this test demands.
+func TestHandOffFIFOGrantOrder(t *testing.T) {
+	const waiters = 5
+	for _, pol := range []Policy{PolicyTicket, PolicyQueue} {
+		t.Run(pol.String(), func(t *testing.T) {
+			w := newWorld(1)
+			var mu Mutex
+			mu.InitPolicy(pol)
+			var order []int
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				r := self.Runtime()
+				mu.Enter(self)
+				var ids []core.ThreadID
+				for i := 0; i < waiters; i++ {
+					i := i
+					c, _ := r.Create(func(c *core.Thread, _ any) {
+						mu.Enter(c)
+						order = append(order, i)
+						mu.Exit(c)
+					}, nil, core.CreateOpts{Flags: core.ThreadWait, Priority: 1 + i})
+					ids = append(ids, c.ID())
+					// One full rotation of the run queue: the new waiter
+					// reaches its Enter and queues before the next exists.
+					for k := 0; k < 4; k++ {
+						self.Yield()
+					}
+				}
+				mu.Exit(self) // hand-off chain starts here
+				for _, id := range ids {
+					self.Wait(id)
+				}
+			})
+			waitRT(t, m)
+			if len(order) != waiters {
+				t.Fatalf("order = %v, want %d grants", order, waiters)
+			}
+			for i, got := range order {
+				if got != i {
+					t.Fatalf("policy %v granted out of arrival order: %v", pol, order)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyTimedEnter runs the timed acquisition through every
+// policy: a held lock times out with ErrTimedOut (and the expired
+// waiter is cleanly dequeued — a later Exit must not hand the lock to
+// it), a free lock succeeds.
+func TestPolicyTimedEnter(t *testing.T) {
+	for _, pol := range Policies() {
+		t.Run(pol.String(), func(t *testing.T) {
+			w := newWorld(2)
+			var mu Mutex
+			mu.InitPolicy(pol)
+			m := w.boot(t, "p", core.Config{}, func(self *core.Thread, _ any) {
+				r := self.Runtime()
+				r.SetConcurrency(2)
+				mu.Enter(self)
+				c, _ := r.Create(func(c *core.Thread, _ any) {
+					if err := mu.TimedEnter(c, 2*time.Millisecond); err != ErrTimedOut {
+						t.Errorf("TimedEnter on held lock = %v, want ErrTimedOut", err)
+					}
+				}, nil, core.CreateOpts{Flags: core.ThreadWait})
+				self.Wait(c.ID())
+				mu.Exit(self)
+				// The timed-out waiter must be gone from the queue: a
+				// fresh acquisition succeeds immediately.
+				if err := mu.TimedEnter(self, time.Millisecond); err != nil {
+					t.Errorf("TimedEnter on free lock = %v", err)
+				}
+				mu.Exit(self)
+			})
+			waitRT(t, m)
+		})
+	}
+}
+
+// TestAdaptiveSpinOwnerChangeReset is the regression test for the
+// adaptive-spin accounting bug: the spin budget is charged per
+// observed owner, so a waiter that watched owner A for the full cap
+// gets a fresh budget when it observes the lock held by B — the new
+// owner may well be on CPU and about to release. Before the fix the
+// counter kept accumulating across owner changes and a long-lived
+// waiter degraded to park-only.
+func TestAdaptiveSpinOwnerChangeReset(t *testing.T) {
+	ownerA, ownerB := new(core.Thread), new(core.Thread)
+	var s adaptiveSpin
+	for i := 0; i < adaptiveSpinCap; i++ {
+		if !s.shouldSpin(ownerA) {
+			t.Fatalf("budget exhausted after %d spins, cap is %d", i, adaptiveSpinCap)
+		}
+	}
+	if s.shouldSpin(ownerA) {
+		t.Fatal("budget not exhausted at cap for an unchanged owner")
+	}
+	if !s.shouldSpin(ownerB) {
+		t.Fatal("owner change did not reset the spin budget")
+	}
+	for i := 1; i < adaptiveSpinCap; i++ {
+		if !s.shouldSpin(ownerB) {
+			t.Fatalf("fresh budget for new owner exhausted early at %d", i)
+		}
+	}
+	if s.shouldSpin(ownerB) {
+		t.Fatal("budget not exhausted at cap for the new owner")
+	}
+	if !s.shouldSpin(ownerA) {
+		t.Fatal("changing back to a previous owner did not reset the budget")
+	}
+}

@@ -117,6 +117,17 @@ func (w *waitq) chanOf() core.WaitChan {
 	return w.wc
 }
 
+// chanOfFIFO allocates the queue as a strict arrival-order channel
+// instead — the hand-off lock policies' discipline. A given waitq is
+// allocated exactly one way (the policy is pinned before its first
+// enqueue), so the two allocators never race on one queue.
+func (w *waitq) chanOfFIFO() core.WaitChan {
+	if !w.wc.Valid() {
+		w.wc = core.AllocWaitChanFIFO()
+	}
+	return w.wc
+}
+
 func (w *waitq) push(t *core.Thread) { w.chanOf().Enqueue(t) }
 
 func (w *waitq) pop() *core.Thread {

@@ -95,6 +95,10 @@ type (
 	RWLock = tsync.RWLock
 	// Variant selects a mutex implementation variant.
 	Variant = tsync.Variant
+	// LockPolicy selects a mutex lock/wake policy (adaptive, ticket,
+	// MCS/CLH queue, parking-lot), per-lock via Mutex.InitPolicy or
+	// per-process via ProcConfig.LockPolicy / Options.LockPolicy.
+	LockPolicy = tsync.Policy
 	// RWType selects reader or writer acquisition.
 	RWType = tsync.RWType
 )
@@ -108,6 +112,19 @@ const (
 	RWReader          = tsync.RWReader
 	RWWriter          = tsync.RWWriter
 )
+
+// Mutex lock policies (see tsync.Policy).
+const (
+	PolicyDefault    = tsync.PolicyDefault
+	PolicyAdaptive   = tsync.PolicyAdaptive
+	PolicyTicket     = tsync.PolicyTicket
+	PolicyQueue      = tsync.PolicyQueue
+	PolicyParkingLot = tsync.PolicyParkingLot
+)
+
+// LockPolicies lists the concrete lock policies, for sweeps and the
+// mtbench fig-12 shootout matrix.
+func LockPolicies() []LockPolicy { return tsync.Policies() }
 
 // Errors surfaced by the fallible acquisition entry points (EnterErr,
 // TimedEnter, PErr, TimedP, ...): the robust-lock and timed-lock
@@ -263,6 +280,11 @@ type Options struct {
 	// jitter composes: jitter perturbs deadlines as they are armed,
 	// and the jump honors the jittered order.
 	FastForward bool
+	// LockPolicy is the machine-wide default mutex lock/wake policy:
+	// processes whose ProcConfig leaves LockPolicy at PolicyDefault
+	// inherit it. PolicyDefault here selects adaptive, the paper's
+	// discipline. Ablatable per-lock with Mutex.InitPolicy.
+	LockPolicy LockPolicy
 }
 
 // Chaos re-exports: seeded schedule exploration and fault injection.
@@ -296,6 +318,8 @@ type System struct {
 	Reg   *usync.Registry
 	tr    *trace.Buffer
 	rings *trace.Rings
+
+	lockPolicy LockPolicy // machine default; see Options.LockPolicy
 }
 
 // NewSystem boots a machine.
@@ -344,11 +368,12 @@ func NewSystem(o Options) *System {
 		})
 	}
 	s := &System{
-		Kern:  k,
-		FS:    vfs.NewFS(k),
-		Reg:   usync.NewRegistry(k),
-		tr:    tr,
-		rings: rings,
+		Kern:       k,
+		FS:         vfs.NewFS(k),
+		Reg:        usync.NewRegistry(k),
+		tr:         tr,
+		rings:      rings,
+		lockPolicy: o.LockPolicy,
 	}
 	return s
 }
@@ -584,6 +609,18 @@ type ProcConfig struct {
 	// flagging LWPs stuck on-CPU and threads blocked too long
 	// (/proc/<pid>/health, mtstat -health). Zero selects 1s.
 	WatchdogDeadline time.Duration
+	// LockPolicy is the process-default mutex lock/wake policy
+	// (adaptive, ticket, queue, parkinglot); PolicyDefault inherits
+	// the system's Options.LockPolicy, which itself defaults to
+	// adaptive. Individual locks override with Mutex.InitPolicy. The
+	// per-process ablation knob of the lock-policy shootout, beside
+	// NoPriorityInheritance.
+	LockPolicy LockPolicy
+	// LockWaitSampleCap, when positive, retains that many most-recent
+	// per-episode lock-wait intervals (microstate MSLock) for
+	// percentile extraction via Runtime.LockWaitSamples — the fig-12
+	// p50/p99/p999 source. Zero disables sampling.
+	LockWaitSampleCap int
 }
 
 // Proc is a running UNIX process: kernel process + address space +
@@ -627,6 +664,10 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		p.AS.SetCommitLimit(cfg.CommitLimitBytes)
 	}
 	p.AS.SetChaos(s.Kern.Chaos())
+	pol := cfg.LockPolicy
+	if pol == PolicyDefault {
+		pol = s.lockPolicy
+	}
 	p.RT = core.NewRuntime(s.Kern, kp, core.Config{
 		Trace:                 s.tr,
 		MaxAutoLWPs:           cfg.MaxAutoLWPs,
@@ -637,6 +678,8 @@ func (s *System) buildProc(kp *sim.Process, main Func, arg any, cfg ProcConfig, 
 		MaxThreads:            cfg.MaxThreads,
 		ThreadCacheSize:       cfg.ThreadCacheSize,
 		WatchdogDeadline:      cfg.WatchdogDeadline,
+		LockPolicy:            int(pol),
+		LockWaitSampleCap:     cfg.LockWaitSampleCap,
 		InitialLWP:            initial,
 		StackMem:              p.AS,
 	})
